@@ -1,0 +1,402 @@
+package crncompose
+
+// The benchmark harness: one benchmark per figure of the paper (the paper
+// has no numeric tables; Figures 1–8 and the theorems are its evaluation
+// artifacts), plus pipeline benchmarks for the main theorems and ablations
+// called out in DESIGN.md. Run with:
+//
+//	go test -bench . -benchmem
+import (
+	"fmt"
+	"testing"
+
+	"crncompose/internal/classify"
+	"crncompose/internal/compose"
+	"crncompose/internal/crn"
+	"crncompose/internal/figures"
+	"crncompose/internal/geometry"
+	"crncompose/internal/quilt"
+	"crncompose/internal/rat"
+	"crncompose/internal/reach"
+	"crncompose/internal/scaling"
+	"crncompose/internal/semilinear"
+	"crncompose/internal/sim"
+	"crncompose/internal/synth"
+	"crncompose/internal/vec"
+	"crncompose/internal/witness"
+)
+
+// --- Figure 1: the 2x / min / max CRNs under simulation at scale. ---
+
+func BenchmarkFig1_MinGillespie(b *testing.B) {
+	for _, n := range []int64{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c := synth.MinCRN(2)
+			start := c.MustInitialConfig(vec.New(n, n/2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := sim.Gillespie(start, sim.WithSeed(uint64(i)))
+				if r.Final.Output() != n/2 {
+					b.Fatalf("min wrong: %d", r.Final.Output())
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig1_MaxFairRandom(b *testing.B) {
+	for _, n := range []int64{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c := synth.MaxCRN()
+			start := c.MustInitialConfig(vec.New(n, n/2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := sim.FairRandom(start, sim.WithSeed(uint64(i)))
+				if r.Final.Output() != n {
+					b.Fatalf("max wrong: %d", r.Final.Output())
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig1_DoubleGillespie(b *testing.B) {
+	c := synth.DoubleCRN()
+	start := c.MustInitialConfig(vec.New(50_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := sim.Gillespie(start, sim.WithSeed(uint64(i)))
+		if r.Final.Output() != 100_000 {
+			b.Fatalf("double wrong")
+		}
+	}
+}
+
+// --- Figure 2: min(1, x) leadered vs leaderless, model-checked. ---
+
+func BenchmarkFig2_Min1X(b *testing.B) {
+	f := func(x []int64) int64 { return min(1, x[0]) }
+	for i := 0; i < b.N; i++ {
+		r1, err := reach.CheckGrid(synth.MinConst1Leadered(), f, []int64{0}, []int64{20})
+		if err != nil || !r1.OK() {
+			b.Fatal(err, r1)
+		}
+		r2, err := reach.CheckGrid(synth.MinConst1Leaderless(), f, []int64{0}, []int64{20})
+		if err != nil || !r2.OK() {
+			b.Fatal(err, r2)
+		}
+	}
+}
+
+// --- Figure 3: quilt-affine CRNs (Lemma 6.1). ---
+
+func BenchmarkFig3_QuiltAffine1D(b *testing.B) {
+	g := quilt.MustNew(rat.NewVec(rat.New(3, 2)), 2, []rat.R{rat.Zero(), rat.New(-1, 2)})
+	c, err := synth.FromQuilt(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := c.MustInitialConfig(vec.New(10_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := sim.FairRandom(start, sim.WithSeed(uint64(i)))
+		if r.Final.Output() != 15_000 {
+			b.Fatalf("⌊3x/2⌋ wrong: %d", r.Final.Output())
+		}
+	}
+}
+
+func BenchmarkFig3_QuiltAffine2DSynthesis(b *testing.B) {
+	f := semilinear.Fig3b()
+	for i := 0; i < b.N; i++ {
+		res, err := classify.Analyze(f, classify.Options{})
+		if err != nil || !res.Computable {
+			b.Fatal(err)
+		}
+		if _, err := synth.FromQuilt(res.EventualMin.Terms[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 4a: the general construction (Lemma 6.2). ---
+
+func BenchmarkFig4a_GeneralConstruction(b *testing.B) {
+	f := semilinear.Fig4a()
+	for i := 0; i < b.N; i++ {
+		c, _, err := synth.General(f, synth.GeneralOptions{
+			Classify: classify.Options{Bound: 8},
+			N:        2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !c.IsOutputOblivious() {
+			b.Fatal("not oblivious")
+		}
+	}
+}
+
+func BenchmarkFig4a_GeneralSimulation(b *testing.B) {
+	c, _, err := synth.General(semilinear.Fig4a(), synth.GeneralOptions{
+		Classify: classify.Options{Bound: 8}, N: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := c.MustInitialConfig(vec.New(50, 30))
+	want := semilinear.Fig4a().Eval(vec.New(50, 30))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := sim.FairRandom(start, sim.WithSeed(uint64(i)))
+		if r.Final.Output() != want {
+			b.Fatalf("got %d want %d", r.Final.Output(), want)
+		}
+	}
+}
+
+// --- Figure 4b / Theorem 8.2: the ∞-scaling. ---
+
+func BenchmarkFig4b_Scaling(b *testing.B) {
+	f := semilinear.Fig4a()
+	res, err := classify.Analyze(f, classify.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval := func(x vec.V) int64 { return f.Eval(x) }
+	z := rat.NewVec(rat.New(3, 2), rat.New(5, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := scaling.Compare(eval, res.EventualMin, z, 4096)
+		if err != nil || rep.AbsErr > 0.01 {
+			b.Fatalf("scaling mismatch: %+v (%v)", rep, err)
+		}
+	}
+}
+
+// --- Figure 5 / Theorem 3.1: the 1D pipeline. ---
+
+func BenchmarkFig5_OneDim(b *testing.B) {
+	f := func(x int64) int64 {
+		table := []int64{0, 2, 3, 7}
+		if x < int64(len(table)) {
+			return table[x]
+		}
+		return 7 + 2*(x-3) + (x-3)/3
+	}
+	for i := 0; i < b.N; i++ {
+		spec, err := synth.FitOneDim(f, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := synth.OneDim(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6 / Lemma 4.1: witness search and overproduction trace. ---
+
+func BenchmarkFig6_MaxWitnessSearch(b *testing.B) {
+	fmax := func(x vec.V) int64 { return max(x[0], x[1]) }
+	for i := 0; i < b.N; i++ {
+		if witness.Search(fmax, 2, witness.SearchOptions{}) == nil {
+			b.Fatal("no contradiction")
+		}
+	}
+}
+
+func BenchmarkFig6_OverproductionTrace(b *testing.B) {
+	t, err := figures.Fig6()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = t
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: classification with under-determined strips (Lemma 7.16). ---
+
+func BenchmarkFig7_Extensions(b *testing.B) {
+	f := semilinear.Fig7()
+	for i := 0; i < b.N; i++ {
+		res, err := classify.Analyze(f, classify.Options{})
+		if err != nil || !res.Computable || len(res.EventualMin.Terms) != 3 {
+			b.Fatalf("fig7 classification broken: %v", err)
+		}
+	}
+}
+
+// --- Figure 8: geometric decomposition. ---
+
+func BenchmarkFig8_Decomposition2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		arr := geometry.NewArrangement(2,
+			[]vec.V{vec.New(1, -1), vec.New(1, -1), vec.New(1, 1)},
+			[]int64{1, -3, 4})
+		regions := arr.Census(14)
+		if len(regions) != 5 {
+			b.Fatalf("%d regions", len(regions))
+		}
+		for _, r := range regions {
+			_ = r.ReccDim()
+			_ = r.IsEventual()
+		}
+	}
+}
+
+func BenchmarkFig8_Decomposition3D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		arr := geometry.NewArrangement(3,
+			[]vec.V{vec.New(1, -1, 0), vec.New(1, -1, 0), vec.New(1, 0, -1), vec.New(1, 0, -1)},
+			[]int64{3, -2, 3, -2})
+		regions := arr.Census(10)
+		if len(regions) != 9 {
+			b.Fatalf("%d regions", len(regions))
+		}
+		for _, r := range regions {
+			_ = r.ReccDim()
+		}
+	}
+}
+
+// --- Theorem pipelines. ---
+
+func BenchmarkThm31_Pipeline(b *testing.B) {
+	f := func(x int64) int64 { return 5*x/3 + min(x, 4) }
+	for i := 0; i < b.N; i++ {
+		spec, err := synth.FitOneDim(f, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := synth.OneDim(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := reach.CheckGrid(c, func(x []int64) int64 { return f(x[0]) }, []int64{0}, []int64{12})
+		if err != nil || !res.OK() {
+			b.Fatal(err, res)
+		}
+	}
+}
+
+func BenchmarkThm92_Leaderless(b *testing.B) {
+	f := func(x int64) int64 { return 3 * x / 2 }
+	for i := 0; i < b.N; i++ {
+		spec, err := synth.FitOneDim(f, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := synth.LeaderlessOneDim(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := reach.CheckGrid(c, func(x []int64) int64 { return f(x[0]) }, []int64{0}, []int64{10})
+		if err != nil || !res.OK() {
+			b.Fatal(err, res)
+		}
+	}
+}
+
+func BenchmarkComposition(b *testing.B) {
+	b.Run("2min-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp, err := compose.Concat(synth.MinCRN(2), synth.DoubleCRN())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := reach.CheckGrid(comp, func(x []int64) int64 { return 2 * min(x[0], x[1]) },
+				[]int64{0, 0}, []int64{3, 3})
+			if err != nil || !res.OK() {
+				b.Fatal(err, res)
+			}
+		}
+	})
+	b.Run("2max-refute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp, err := compose.Concat(synth.MaxCRN(), synth.DoubleCRN())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := reach.CheckGrid(comp, func(x []int64) int64 { return 2 * max(x[0], x[1]) },
+				[]int64{1, 1}, []int64{2, 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.OK() {
+				b.Fatal("2max verified; must refute")
+			}
+		}
+	})
+}
+
+func BenchmarkObs24_Transform(b *testing.B) {
+	cat := mustCatalytic(b)
+	for i := 0; i < b.N; i++ {
+		obl, err := synth.MonotonicToOblivious(cat)
+		if err != nil || !obl.IsOutputOblivious() {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThm82_Correspondence(b *testing.B) {
+	f := semilinear.Fig7()
+	res, err := classify.Analyze(f, classify.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bad, err := scaling.CheckSuperadditive(res.EventualMin, 3)
+		if err != nil || bad != nil {
+			b.Fatal("superadditivity violated")
+		}
+	}
+}
+
+// --- Classification of every library function (the decision procedure). ---
+
+func BenchmarkClassifyLibrary(b *testing.B) {
+	fns := []*semilinear.Func{
+		semilinear.Min2(), semilinear.Max2(), semilinear.Fig7(),
+		semilinear.Equation2(), semilinear.Fig4a(), semilinear.Fig3b(),
+	}
+	for _, f := range fns {
+		b.Run(f.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := classify.Analyze(f, classify.Options{WitnessSearch: false}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Model checker throughput. ---
+
+func BenchmarkReachExplore(b *testing.B) {
+	c := synth.MaxCRN()
+	start := c.MustInitialConfig(vec.New(12, 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := reach.Explore(start)
+		if !g.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func mustCatalytic(b *testing.B) *crn.CRN {
+	b.Helper()
+	return crn.MustNew([]crn.Species{"X", "A"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "Y"}, {Coeff: 1, Sp: "A"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}, {Coeff: 1, Sp: "B"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "B"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+}

@@ -1,0 +1,90 @@
+// Command crncheck model-checks stable computation: it verifies, by
+// exhaustive reachability analysis (the literal Section 2.2 definition),
+// that a CRN stably computes a library function on a grid of inputs, and
+// reports output-obliviousness and output-monotonicity.
+//
+// Usage:
+//
+//	crncheck -crn min.crn -f min -lo 0 -hi 5
+//	crnsynth -f fig4a -n 2 -bound 8 | crncheck -crn - -f fig4a -hi 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"crncompose/internal/core"
+	"crncompose/internal/parse"
+	"crncompose/internal/reach"
+	"crncompose/internal/vec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crncheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crncheck", flag.ContinueOnError)
+	var (
+		crnPath    = fs.String("crn", "", "CRN file (or - for stdin)")
+		fname      = fs.String("f", "", "library function the CRN should compute (see crnsynth -list)")
+		lo         = fs.Int64("lo", 0, "grid lower bound per coordinate")
+		hi         = fs.Int64("hi", 3, "grid upper bound per coordinate")
+		maxConfigs = fs.Int("maxconfigs", 1<<20, "reachability budget per input")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *crnPath == "" || *fname == "" {
+		return fmt.Errorf("need both -crn and -f")
+	}
+	src, err := readAll(*crnPath)
+	if err != nil {
+		return err
+	}
+	c, err := parse.Parse(src)
+	if err != nil {
+		return err
+	}
+	f, ok := core.Library()[*fname]
+	if !ok {
+		return fmt.Errorf("unknown function %q", *fname)
+	}
+	if c.Dim() != f.Dim() {
+		return fmt.Errorf("CRN takes %d inputs but %s takes %d", c.Dim(), f.Name, f.Dim())
+	}
+	fmt.Fprintf(out, "structure: output-oblivious=%v output-monotonic=%v leader=%q species=%d reactions=%d\n",
+		c.IsOutputOblivious(), c.IsOutputMonotonic(), c.Leader, c.NumSpecies(), len(c.Reactions))
+	d := f.Dim()
+	los, his := make([]int64, d), make([]int64, d)
+	for i := range los {
+		los[i], his[i] = *lo, *hi
+	}
+	res, err := reach.CheckGrid(c, func(x []int64) int64 { return f.Eval(vec.New(x...)) },
+		los, his, reach.WithMaxConfigs(*maxConfigs))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res)
+	if !res.OK() {
+		if res.Failure.Verdict.Witness != nil {
+			fmt.Fprintf(out, "witness schedule:\n%s", res.Failure.Verdict.Witness)
+		}
+		return fmt.Errorf("verification failed")
+	}
+	return nil
+}
+
+func readAll(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempCRN(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.crn")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckMinOK(t *testing.T) {
+	path := writeTempCRN(t, "#input X1 X2\n#output Y\nX1 + X2 -> Y\n")
+	var sb strings.Builder
+	if err := run([]string{"-crn", path, "-f", "min", "-hi", "4"}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "output-oblivious=true") || !strings.Contains(out, "ok:") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCheckWrongCRNRefuted(t *testing.T) {
+	// A sum CRN claimed to compute min.
+	path := writeTempCRN(t, "#input X1 X2\n#output Y\nX1 -> Y\nX2 -> Y\n")
+	var sb strings.Builder
+	err := run([]string{"-crn", path, "-f", "min", "-hi", "2"}, &sb)
+	if err == nil {
+		t.Fatalf("wrong CRN verified:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Errorf("no failure report:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "witness schedule") {
+		t.Errorf("no witness schedule printed:\n%s", sb.String())
+	}
+}
+
+func TestCheckArityMismatch(t *testing.T) {
+	path := writeTempCRN(t, "#input X\n#output Y\nX -> Y\n")
+	var sb strings.Builder
+	if err := run([]string{"-crn", path, "-f", "min"}, &sb); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestCheckMissingFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}
+
+func TestCheckUnknownFunction(t *testing.T) {
+	path := writeTempCRN(t, "#input X\n#output Y\nX -> Y\n")
+	var sb strings.Builder
+	if err := run([]string{"-crn", path, "-f", "bogus"}, &sb); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}

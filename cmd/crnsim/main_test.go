@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempCRN(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.crn")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const minSrc = "#input X1 X2\n#output Y\nX1 + X2 -> Y\n"
+
+func TestRunFair(t *testing.T) {
+	path := writeTempCRN(t, minSrc)
+	var sb strings.Builder
+	err := run([]string{"-crn", path, "-x", "30,18", "-trials", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "output=18") {
+		t.Errorf("missing correct output:\n%s", out)
+	}
+	if !strings.Contains(out, "allEqual=true") {
+		t.Errorf("trials disagree:\n%s", out)
+	}
+}
+
+func TestRunGillespie(t *testing.T) {
+	path := writeTempCRN(t, minSrc)
+	var sb strings.Builder
+	if err := run([]string{"-crn", path, "-x", "10,4", "-method", "gillespie"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "output=4") {
+		t.Errorf("gillespie output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	path := writeTempCRN(t, minSrc)
+	var sb strings.Builder
+	if err := run([]string{"-crn", path, "-x", "1,1", "-v"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "output-oblivious=true") {
+		t.Errorf("verbose header missing:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTempCRN(t, minSrc)
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"missing crn", []string{"-x", "1,1"}},
+		{"arity mismatch", []string{"-crn", path, "-x", "1"}},
+		{"negative input", []string{"-crn", path, "-x", "-1,1"}},
+		{"bad method", []string{"-crn", path, "-x", "1,1", "-method", "warp"}},
+		{"missing inputs", []string{"-crn", path}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tc.args, &sb); err == nil {
+				t.Errorf("expected error, got output:\n%s", sb.String())
+			}
+		})
+	}
+}

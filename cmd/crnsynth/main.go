@@ -1,0 +1,98 @@
+// Command crnsynth synthesizes an output-oblivious CRN for a function from
+// the paper's library and emits it in the text format understood by crnsim
+// and crncheck.
+//
+// Usage:
+//
+//	crnsynth -f min                    # general construction (Lemma 6.2)
+//	crnsynth -f floor3x2 -leaderless   # Theorem 9.2 (1D superadditive only)
+//	crnsynth -list                     # list available functions
+//	crnsynth -f max                    # fails with the Lemma 4.1 witness
+//
+// Flags -bound and -n tune the classifier census bound and the eventual
+// threshold (smaller n ⇒ smaller CRN, when valid).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"crncompose/internal/core"
+	"crncompose/internal/semilinear"
+	"crncompose/internal/synth"
+	"crncompose/internal/vec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crnsynth:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crnsynth", flag.ContinueOnError)
+	var (
+		name       = fs.String("f", "", "function name (see -list)")
+		list       = fs.Bool("list", false, "list available functions")
+		leaderless = fs.Bool("leaderless", false, "use the leaderless Theorem 9.2 construction (1D superadditive only)")
+		bound      = fs.Int64("bound", 0, "classifier census bound (0 = default)")
+		n          = fs.Int64("n", 0, "eventual threshold override (0 = classifier's)")
+		stats      = fs.Bool("stats", false, "print size statistics instead of the CRN")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, strings.Join(core.LibraryNames(), "\n"))
+		return nil
+	}
+	f, ok := core.Library()[*name]
+	if !ok {
+		return fmt.Errorf("unknown function %q (try -list)", *name)
+	}
+	if *leaderless {
+		return synthLeaderless(f, out, *stats)
+	}
+	sys, err := core.Compile(f, core.CompileOptions{Bound: *bound, N: *n})
+	if err != nil {
+		var nce *synth.NotComputableError
+		if errors.As(err, &nce) && nce.Result.Contradiction != nil {
+			return fmt.Errorf("%w\n%s", err, nce.Result.Contradiction)
+		}
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(out, "function=%s species=%d reactions=%d terms=%d n=%s oblivious=%v\n",
+			f.Name, sys.Net.NumSpecies(), len(sys.Net.Reactions),
+			len(sys.Analysis.EventualMin.Terms), sys.Analysis.N, sys.Net.IsOutputOblivious())
+		return nil
+	}
+	fmt.Fprint(out, sys.Net)
+	return nil
+}
+
+func synthLeaderless(f *semilinear.Func, out io.Writer, stats bool) error {
+	if f.Dim() != 1 {
+		return fmt.Errorf("leaderless construction is 1D only (Theorem 9.2); %s takes %d inputs", f.Name, f.Dim())
+	}
+	spec, err := synth.FitOneDim(func(x int64) int64 { return f.Eval(vec.New(x)) }, 0, 0)
+	if err != nil {
+		return err
+	}
+	c, err := synth.LeaderlessOneDim(spec)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(out, "function=%s species=%d reactions=%d leaderless=true\n",
+			f.Name, c.NumSpecies(), len(c.Reactions))
+		return nil
+	}
+	fmt.Fprint(out, c)
+	return nil
+}

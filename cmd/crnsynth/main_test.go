@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"crncompose/internal/parse"
+)
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"min", "max", "fig7", "floor3x2"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestSynthFloor3x2ParsesBack(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-f", "floor3x2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	c, err := parse.Parse(sb.String())
+	if err != nil {
+		t.Fatalf("emitted CRN does not reparse: %v\n%s", err, sb.String())
+	}
+	if !c.IsOutputOblivious() {
+		t.Error("synthesized CRN not output-oblivious")
+	}
+	if c.Leader == "" {
+		t.Error("Theorem 3.1 CRN should have a leader")
+	}
+}
+
+func TestSynthLeaderless(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-f", "floor3x2", "-leaderless"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	c, err := parse.Parse(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Leader != "" {
+		t.Error("leaderless synthesis produced a leader")
+	}
+}
+
+func TestSynthLeaderlessRejectsNonSuperadditive(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-f", "min1", "-leaderless"}, &sb); err == nil {
+		t.Fatal("min(1,x) accepted by leaderless synthesis (Observation 9.1)")
+	}
+}
+
+func TestSynthLeaderlessRejects2D(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-f", "min", "-leaderless"}, &sb); err == nil {
+		t.Fatal("2D function accepted by 1D-only leaderless path")
+	}
+}
+
+func TestSynthStats2D(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-f", "fig4a", "-bound", "8", "-n", "2", "-stats"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "oblivious=true") {
+		t.Errorf("stats output wrong:\n%s", sb.String())
+	}
+}
+
+func TestSynthMaxFailsWithWitness(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-f", "max"}, &sb)
+	if err == nil {
+		t.Fatal("max synthesized")
+	}
+	if !strings.Contains(err.Error(), "Lemma 4.1") {
+		t.Errorf("error lacks the contradiction: %v", err)
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-f", "nonsense"}, &sb); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Command figures regenerates the data behind every figure of the paper
+// (Figures 1–8) as CSV files, one per figure, in the output directory.
+//
+// Usage:
+//
+//	figures [-out out] [-only fig7]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"crncompose/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	outDir := fs.String("out", "out", "output directory for CSV files")
+	only := fs.String("only", "", "generate only the named figure (fig1..fig8)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tables, err := figures.All()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if *only != "" && t.Name != *only {
+			continue
+		}
+		path := filepath.Join(*outDir, t.Name+".csv")
+		if err := writeCSV(path, t); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(t.Rows))
+	}
+	return nil
+}
+
+func writeCSV(path string, t *figures.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

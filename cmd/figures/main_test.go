@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesAllFigures(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig1", "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8"}
+	for _, name := range want {
+		path := filepath.Join(dir, name+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: invalid CSV: %v", name, err)
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s: only %d rows", name, len(rows))
+		}
+	}
+}
+
+func TestRunOnlyFilter(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-only", "fig8"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "fig8.csv" {
+		t.Errorf("entries = %v", entries)
+	}
+}

@@ -1,0 +1,111 @@
+package crncompose
+
+// Property tests for the composition semantics of Section 2.3 at the
+// whole-pipeline level: concatenations of synthesized output-oblivious
+// modules compute the composed functions.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"crncompose/internal/compose"
+	"crncompose/internal/quilt"
+	"crncompose/internal/rat"
+	"crncompose/internal/reach"
+	"crncompose/internal/sim"
+	"crncompose/internal/synth"
+	"crncompose/internal/vec"
+)
+
+// TestCompositionClosureProperty: for random quilt-affine g (1D) and the
+// min CRN as upstream f, the concatenation computes g(min(x1, x2))
+// (Observation 2.2), and the concatenation of two output-oblivious CRNs is
+// output-oblivious.
+func TestCompositionClosureProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 2))
+	for trial := 0; trial < 12; trial++ {
+		// Random 1D quilt-affine g with period p and nonnegative deltas.
+		p := 1 + rng.Int64N(3)
+		deltas := make([]int64, p)
+		var sum int64
+		for i := range deltas {
+			deltas[i] = rng.Int64N(3)
+			sum += deltas[i]
+		}
+		if sum == 0 {
+			deltas[0] = 1
+			sum = 1
+		}
+		g0 := rng.Int64N(3)
+		geval := func(x int64) int64 {
+			v := g0
+			for k := int64(0); k < x; k++ {
+				v += deltas[k%p]
+			}
+			return v
+		}
+		grad := rat.New(sum, p)
+		offsets := make([]rat.R, p)
+		for a := int64(0); a < p; a++ {
+			offsets[a] = rat.FromInt(geval(a)).Sub(grad.MulInt(a))
+		}
+		gq, err := quilt.New(rat.NewVec(grad), p, offsets)
+		if err != nil {
+			t.Fatalf("trial %d: %v (deltas=%v)", trial, err, deltas)
+		}
+		gcrn, err := synth.FromQuilt(gq)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		comp, err := compose.Concat(synth.MinCRN(2), gcrn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !comp.IsOutputOblivious() {
+			t.Fatal("composition of oblivious CRNs not oblivious")
+		}
+		want := func(x []int64) int64 { return geval(min(x[0], x[1])) }
+		res, err := reach.CheckGrid(comp, want, []int64{0, 0}, []int64{3, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Fatalf("trial %d (deltas=%v g0=%d): %v", trial, deltas, g0, res)
+		}
+		// And a larger input via simulation.
+		x := vec.New(5+rng.Int64N(20), 5+rng.Int64N(20))
+		r := sim.FairRandom(comp.MustInitialConfig(x), sim.WithSeed(uint64(trial)))
+		if !r.Converged || r.Final.Output() != want(x) {
+			t.Fatalf("trial %d: sim %v -> %d, want %d", trial, x, r.Final.Output(), want(x))
+		}
+	}
+}
+
+// TestThreeStagePipeline chains three modules: clamp → double → quilt,
+// i.e. h(x) = g(2·(x−2)+) for a quilt-affine g, all by concatenation.
+func TestThreeStagePipeline(t *testing.T) {
+	g := quilt.MustNew(rat.NewVec(rat.New(3, 2)), 2, []rat.R{rat.Zero(), rat.New(-1, 2)})
+	gcrn, err := synth.FromQuilt(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage1, err := compose.Concat(synth.ClampCRN(2), synth.DoubleCRN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := compose.Concat(stage1, gcrn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.IsOutputOblivious() {
+		t.Fatal("pipeline not output-oblivious")
+	}
+	want := func(x []int64) int64 {
+		v := max(x[0]-2, 0) * 2
+		return 3 * v / 2
+	}
+	res, err := reach.CheckGrid(full, want, []int64{0}, []int64{8})
+	if err != nil || !res.OK() {
+		t.Fatalf("%v %v", err, res)
+	}
+}

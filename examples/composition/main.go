@@ -1,0 +1,67 @@
+// Composition: the Section 1.2 motivating experiment. Output-oblivious
+// CRNs compose by concatenation (Observation 2.2): 2·min(x1,x2) works by
+// renaming min's output into the doubler's input. The same wiring applied
+// to the non-output-oblivious max CRN races the downstream doubler against
+// the upstream correction reaction K + W → ∅ and overshoots.
+//
+//	go run ./examples/composition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crncompose/internal/compose"
+	"crncompose/internal/reach"
+	"crncompose/internal/sim"
+	"crncompose/internal/synth"
+	"crncompose/internal/vec"
+)
+
+func main() {
+	minCRN := synth.MinCRN(2)
+	maxCRN := synth.MaxCRN()
+	double := synth.DoubleCRN()
+
+	// --- good: 2·min via concatenation of output-oblivious min ---
+	twoMin, err := compose.Concat(minCRN, double)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2·min CRN (upstream output-oblivious):")
+	fmt.Print(twoMin)
+	res, err := reach.CheckGrid(twoMin,
+		func(x []int64) int64 { return 2 * min(x[0], x[1]) },
+		[]int64{0, 0}, []int64{4, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model check 2·min:", res)
+
+	// --- bad: 2·max via concatenation of the Y-consuming max CRN ---
+	twoMax, err := compose.Concat(maxCRN, double)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n2·max CRN (upstream consumes its output):")
+	fmt.Print(twoMax)
+	res, err = reach.CheckGrid(twoMax,
+		func(x []int64) int64 { return 2 * max(x[0], x[1]) },
+		[]int64{1, 1}, []int64{2, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model check 2·max:", res)
+	if res.OK() {
+		log.Fatal("unexpected: the naive 2·max composition verified")
+	}
+
+	// Exhibit the overshoot with an adversarial schedule: prefer the
+	// upstream producers and the downstream doubler over the corrector.
+	x := vec.New(5, 5)
+	sched := sim.PreferScheduler([]int{0, 1, 4})
+	r := sim.RunScheduled(twoMax.MustInitialConfig(x), sched)
+	fmt.Printf("\nadversarial schedule on x=%v: produced %d copies of Y, correct answer is %d\n",
+		x, r.Final.Output(), 2*max(x[0], x[1]))
+	fmt.Println("(the paper predicts up to 2(x1+x2) =", 2*(x[0]+x[1]), "under this race)")
+}

@@ -1,0 +1,67 @@
+// Leaderless computation (Section 9): the Theorem 9.2 construction builds
+// a leaderless output-oblivious CRN for any semilinear superadditive
+// f : N → N. The example builds CRNs for x, 2x and ⌊3x/2⌋, shows the
+// pairwise corrective-difference reactions, and verifies them; it then
+// demonstrates Observation 9.1 — min(1, x) is NOT superadditive and is
+// rejected.
+//
+//	go run ./examples/leaderless
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crncompose/internal/reach"
+	"crncompose/internal/synth"
+)
+
+func main() {
+	cases := []struct {
+		name string
+		f    func(int64) int64
+		hi   int64
+	}{
+		{"identity x", func(x int64) int64 { return x }, 12},
+		{"double 2x", func(x int64) int64 { return 2 * x }, 10},
+		{"floor ⌊3x/2⌋", func(x int64) int64 { return 3 * x / 2 }, 12},
+	}
+	for _, tc := range cases {
+		spec, err := synth.FitOneDim(tc.f, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := synth.LeaderlessOneDim(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s: leaderless CRN with %d species, %d reactions ===\n",
+			tc.name, c.NumSpecies(), len(c.Reactions))
+		if tc.name == "floor ⌊3x/2⌋" {
+			fmt.Print(c) // show one full reaction set
+		}
+		res, err := reach.CheckGrid(c, func(x []int64) int64 { return tc.f(x[0]) },
+			[]int64{0}, []int64{tc.hi})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("model check:", res)
+		fmt.Println()
+	}
+
+	// Observation 9.1: leaderless oblivious computation requires
+	// superadditivity. min(1, x) fails it: f(1) + f(1) = 2 > f(2) = 1.
+	spec, err := synth.FitOneDim(func(x int64) int64 { return min(1, x) }, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := synth.LeaderlessOneDim(spec); err != nil {
+		fmt.Println("min(1,x) rejected by the leaderless construction (Observation 9.1):")
+		fmt.Println("   ", err)
+	} else {
+		log.Fatal("min(1,x) unexpectedly accepted")
+	}
+	// With a leader it is a single reaction (Fig 2).
+	fmt.Println("\nwith a leader, min(1,x) is just:")
+	fmt.Print(synth.MinConst1Leadered())
+}

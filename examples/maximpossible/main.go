@@ -1,0 +1,82 @@
+// Impossibility (Section 4, Figure 6): max(x1, x2) is semilinear and
+// nondecreasing yet NOT obliviously-computable. This example runs the
+// whole negative pipeline:
+//
+//  1. the classifier rejects max (its determined-region extensions fail to
+//     eventually dominate, Lemma 7.9);
+//
+//  2. a Lemma 4.1 contradiction sequence a_i = (i, 0), Δ_ij = (0, j) is
+//     found and machine-verified;
+//
+//  3. against a concrete output-oblivious attempt at max, the Lemma 4.1
+//     proof is executed literally: Dickson pair O_i ≤ O_j, extra inputs D,
+//     spliced reaction sequence α — yielding an explicit schedule that
+//     overproduces Y (Figure 6);
+//
+//  4. the same treatment rejects equation (2) of Section 7.4, whose failure
+//     is in the under-determined diagonal strip (Lemma 7.20).
+//
+//     go run ./examples/maximpossible
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crncompose/internal/core"
+	"crncompose/internal/crn"
+	"crncompose/internal/semilinear"
+	"crncompose/internal/vec"
+	"crncompose/internal/witness"
+)
+
+func main() {
+	// 1. Classifier verdict for max.
+	res, err := core.Reject(semilinear.Max2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("classifier verdict for max:")
+	fmt.Println("   ", res.Reason)
+
+	// 2. The Lemma 4.1 contradiction.
+	fmt.Println("\nmachine-verified contradiction sequence:")
+	fmt.Print(res.Contradiction)
+	fmax := func(x vec.V) int64 { return max(x[0], x[1]) }
+	if err := res.Contradiction.Verify(fmax); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified against f = max ✓")
+
+	// 3. Fig 6: explicit overproduction against an output-oblivious
+	// attempt (produce on every input, pair when possible).
+	attempt := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}, Name: "pair"},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}, Name: "solo1"},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}, Name: "solo2"},
+	})
+	con := witness.Search(fmax, 2, witness.SearchOptions{})
+	over, err := core.Demonstrate(attempt, fmax, con)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFig 6 overproduction against the oblivious attempt:\n%s\n", over)
+
+	// 4. Equation (2): the depressed-diagonal counterexample.
+	res2, err := core.Reject(semilinear.Equation2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("classifier verdict for equation (2):")
+	fmt.Println("   ", res2.Reason)
+	feq2 := func(x vec.V) int64 {
+		if x[0] == x[1] {
+			return x[0] + x[1]
+		}
+		return x[0] + x[1] + 1
+	}
+	if err := res2.Contradiction.Verify(feq2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("equation (2) contradiction verified ✓")
+}

@@ -1,0 +1,101 @@
+package crncompose
+
+// Randomized pipeline fuzzing: Theorems 3.1 and 9.2 are exercised on
+// randomly generated functions with the prescribed structural properties,
+// each synthesized CRN model-checked exhaustively. This goes well beyond
+// the paper's worked examples.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"crncompose/internal/randfunc"
+	"crncompose/internal/reach"
+	"crncompose/internal/synth"
+)
+
+func TestFuzzTheorem31(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 6))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		f := randfunc.Nondecreasing(rng, 5, 3, 3)
+		spec, err := synth.FitOneDim(f.Eval, 16, 8)
+		if err != nil {
+			t.Fatalf("trial %d: fit: %v", trial, err)
+		}
+		c, err := synth.OneDim(spec)
+		if err != nil {
+			t.Fatalf("trial %d: construct: %v", trial, err)
+		}
+		if !c.IsOutputOblivious() {
+			t.Fatalf("trial %d: not output-oblivious", trial)
+		}
+		res, err := reach.CheckGrid(c, func(x []int64) int64 { return f.Eval(x[0]) },
+			[]int64{0}, []int64{14})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.OK() {
+			t.Fatalf("trial %d: table=%v deltas=%v: %v", trial, f.Table, f.Deltas, res)
+		}
+	}
+}
+
+func TestFuzzTheorem92(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	trials := 15
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		f := randfunc.Superadditive(rng, 4, 3, 3, 40)
+		spec, err := synth.FitOneDim(f.Eval, 16, 8)
+		if err != nil {
+			t.Fatalf("trial %d: fit: %v", trial, err)
+		}
+		c, err := synth.LeaderlessOneDim(spec)
+		if err != nil {
+			t.Fatalf("trial %d: construct (table=%v deltas=%v): %v", trial, f.Table, f.Deltas, err)
+		}
+		if c.Leader != "" || !c.IsOutputOblivious() {
+			t.Fatalf("trial %d: structure wrong", trial)
+		}
+		res, err := reach.CheckGrid(c, func(x []int64) int64 { return f.Eval(x[0]) },
+			[]int64{0}, []int64{9}, reach.WithMaxConfigs(1<<21))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.OK() {
+			t.Fatalf("trial %d: table=%v deltas=%v: %v", trial, f.Table, f.Deltas, res)
+		}
+	}
+}
+
+// TestFuzzObservation91 checks the negative direction on random
+// NON-superadditive functions: the leaderless construction must refuse
+// them (they violate its precondition).
+func TestFuzzObservation91(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 1))
+	rejected := 0
+	for trial := 0; trial < 60; trial++ {
+		f := randfunc.Nondecreasing(rng, 5, 3, 3)
+		if randfunc.IsSuperadditive(f.Eval, 40) {
+			continue // only test genuine violators
+		}
+		spec, err := synth.FitOneDim(f.Eval, 16, 8)
+		if err != nil {
+			t.Fatalf("trial %d: fit: %v", trial, err)
+		}
+		if _, err := synth.LeaderlessOneDim(spec); err == nil {
+			t.Fatalf("trial %d: non-superadditive function accepted (table=%v deltas=%v)",
+				trial, f.Table, f.Deltas)
+		}
+		rejected++
+	}
+	if rejected == 0 {
+		t.Fatal("no non-superadditive candidates generated; widen the sampler")
+	}
+}

@@ -1,0 +1,458 @@
+// Package classify decides oblivious computability of semilinear functions
+// and produces the eventually-min-of-quilt-affine normal form of
+// Theorem 5.2, mechanizing Section 7 of the paper:
+//
+//  1. decompose the domain into regions induced by the threshold
+//     hyperplanes (Lemma 7.3), with the global period p from the mod sets;
+//  2. from every determined eventual region extract the unique quilt-affine
+//     extension (Lemma 7.7) and check that it eventually dominates f
+//     (Lemma 7.9) — a violation yields a Lemma 4.1 contradiction;
+//  3. for every strip of every under-determined eventual region construct
+//     an extension either by gradient averaging with an enlarged period
+//     (Lemma 7.16) or by adopting the extension of the neighbor region in
+//     a degenerate direction (Lemma 7.20) — the latter case detects the
+//     non-computable "depressed diagonal" behavior of equation (2);
+//  4. verify f = min_k g_k on the eventual grid and return the normal form.
+//
+// All verification is exact on bounded grids; bounds are configurable. The
+// classifier is sound in both directions on its budget: "not computable"
+// verdicts come with a machine-checked Lemma 4.1 contradiction, and
+// "computable" verdicts come with a normal form that is re-verified
+// pointwise against f.
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"crncompose/internal/geometry"
+	"crncompose/internal/quilt"
+	"crncompose/internal/rat"
+	"crncompose/internal/semilinear"
+	"crncompose/internal/vec"
+	"crncompose/internal/witness"
+)
+
+// Options bound the analysis.
+type Options struct {
+	// Bound is the census grid bound per coordinate; 0 picks a default
+	// based on the global period.
+	Bound int64
+	// WitnessSearch controls whether a Lemma 4.1 contradiction is searched
+	// for when f is found not computable (default true).
+	WitnessSearch bool
+	// MaxPeriodScale bounds the period enlargement factor k in p* = k·p for
+	// Lemma 7.16 extensions (default 8).
+	MaxPeriodScale int64
+}
+
+func (o *Options) defaults(p int64) {
+	if o.Bound == 0 {
+		o.Bound = 6*p + 12
+	}
+	if o.MaxPeriodScale == 0 {
+		o.MaxPeriodScale = 8
+	}
+}
+
+// Result is the outcome of classification.
+type Result struct {
+	// Computable reports the Theorem 5.2 verdict (for the eventual
+	// condition (ii); condition (iii) is checked recursively by callers on
+	// restrictions).
+	Computable bool
+	// Reason explains a negative verdict.
+	Reason string
+	// Contradiction is the Lemma 4.1 certificate for a negative verdict,
+	// when one was found within search bounds.
+	Contradiction *witness.Contradiction
+	// EventualMin is the normal form min_k g_k valid for x ≥ N.
+	EventualMin *quilt.Min
+	// N is the eventual bound of condition (ii).
+	N vec.V
+	// Regions is the census (diagnostic).
+	Regions []*geometry.Region
+	// Period is the global period p of Lemma 7.3.
+	Period int64
+}
+
+// Analyze classifies f per Theorem 5.2 condition (ii). The function must be
+// given in the explicit piecewise representation of Definition 2.6.
+func Analyze(f *semilinear.Func, opts Options) (*Result, error) {
+	d := f.Dim()
+	if d == 0 {
+		return nil, fmt.Errorf("classify: zero-dimensional function")
+	}
+	p := f.GlobalPeriod()
+	opts.defaults(p)
+	bound := opts.Bound
+	lo, hi := vec.Zero(d), vec.Const(d, bound)
+
+	if err := f.ValidateOn(lo, hi); err != nil {
+		return nil, err
+	}
+
+	// Condition (i): nondecreasing (Observation 2.1).
+	if ok, a, b := f.IsNondecreasingOn(lo, hi); !ok {
+		return negative(f, opts, fmt.Sprintf("f is decreasing: f(%v)=%d > f(%v)=%d (Observation 2.1)",
+			a, f.Eval(a), b, f.Eval(b))), nil
+	}
+
+	// Domain decomposition (Section 7.2).
+	ts, _ := f.Atoms()
+	normals := make([]vec.V, len(ts))
+	offsets := make([]int64, len(ts))
+	for i, t := range ts {
+		normals[i] = t.A
+		offsets[i] = t.B
+	}
+	arr := geometry.NewArrangement(d, normals, offsets)
+	regions := arr.Census(bound)
+
+	res := &Result{Computable: true, Regions: regions, Period: p}
+
+	// Eventual check grid: the upper quadrant of the census.
+	nEv := vec.Const(d, bound/2)
+	res.N = nEv
+
+	// Step 1: unique extensions from determined eventual regions
+	// (Lemma 7.7) and their domination (Lemma 7.9).
+	var terms []*quilt.Func
+	var determined []detExt
+	for _, r := range regions {
+		if !r.IsEventual() || !r.IsDetermined() {
+			continue
+		}
+		g, err := determinedExtension(f, r, p)
+		if err != nil {
+			return nil, fmt.Errorf("classify: region %s: %w", r.Key(), err)
+		}
+		if bad := dominationFailure(f, g, nEv, hi); bad != nil {
+			return negative(f, opts, fmt.Sprintf(
+				"extension from determined region %s does not eventually dominate f: g(%v)=%d < f(%v)=%d (Lemma 7.9 ⇒ Lemma 4.1)",
+				r.Key(), bad, g.Eval(bad), bad, f.Eval(bad))), nil
+		}
+		determined = append(determined, detExt{region: r, ext: g})
+		terms = append(terms, g)
+	}
+	if len(determined) == 0 {
+		return nil, fmt.Errorf("classify: no determined eventual region found within bound %d; increase Options.Bound", bound)
+	}
+
+	// Step 2: extensions from strips of under-determined eventual regions
+	// (Lemmas 7.16 and 7.20).
+	for _, u := range regions {
+		if !u.IsEventual() || u.IsDetermined() {
+			continue
+		}
+		// Determined neighbors (Definition 7.11, Corollary 7.19).
+		var nbrs []detExt
+		for _, de := range determined {
+			if de.region.IsNeighborOf(u) {
+				nbrs = append(nbrs, de)
+			}
+		}
+		if len(nbrs) == 0 {
+			return nil, fmt.Errorf("classify: under-determined region %s has no determined neighbor within bound", u.Key())
+		}
+		stripTerms, neg, err := underDeterminedExtensions(f, u, nbrs, p, nEv, hi, opts)
+		if err != nil {
+			return nil, err
+		}
+		if neg != "" {
+			return negative(f, opts, neg), nil
+		}
+		terms = append(terms, stripTerms...)
+	}
+
+	// Deduplicate extensionally equal terms.
+	terms = dedupe(terms)
+
+	// Step 3: verify f(x) = min_k g_k(x) on the eventual grid.
+	m, err := quilt.NewMin(terms...)
+	if err != nil {
+		return nil, err
+	}
+	var mismatch vec.V
+	vec.Grid(nEv, hi, func(x vec.V) bool {
+		if m.Eval(x) != f.Eval(x) {
+			mismatch = x.Clone()
+			return false
+		}
+		return true
+	})
+	if mismatch != nil {
+		return nil, fmt.Errorf("classify: internal: min of %d extensions disagrees with f at %v (min=%d, f=%d)",
+			len(terms), mismatch, m.Eval(mismatch), f.Eval(mismatch))
+	}
+	res.EventualMin = m
+	return res, nil
+}
+
+func negative(f *semilinear.Func, opts Options, reason string) *Result {
+	res := &Result{Computable: false, Reason: reason}
+	if opts.WitnessSearch {
+		res.Contradiction = witness.Search(func(x vec.V) int64 { return f.Eval(x) }, f.Dim(), witness.SearchOptions{})
+	}
+	return res
+}
+
+// determinedExtension computes the unique quilt-affine extension from a
+// determined region (Lemma 7.7): one gradient shared by all congruence
+// classes, and the per-class offsets of the affine pieces of f.
+func determinedExtension(f *semilinear.Func, r *geometry.Region, p int64) (*quilt.Func, error) {
+	d := f.Dim()
+	classes := vec.NumClasses(p, d)
+	offsets := make([]rat.R, classes)
+	haveClass := make([]bool, classes)
+	var grad rat.Vec
+	var gradClass vec.V
+	for _, x := range r.Points {
+		idx := vec.CongruenceIndex(x, p)
+		k := f.PieceAt(x)
+		if k < 0 {
+			return nil, fmt.Errorf("no piece at %v", x)
+		}
+		piece := f.Pieces[k]
+		if !haveClass[idx] {
+			haveClass[idx] = true
+			offsets[idx] = piece.Off
+			if grad == nil {
+				grad = piece.Grad
+				gradClass = x.Clone()
+			} else if !grad.Eq(piece.Grad) {
+				// Lemma 7.7: all gradients on a determined region must
+				// agree, else f is not nondecreasing.
+				return nil, fmt.Errorf(
+					"gradients differ across congruence classes (%s at %v vs %s at %v); f cannot be nondecreasing on a determined region",
+					grad, gradClass, piece.Grad, x)
+			}
+		} else if !offsets[idx].Eq(piece.Off) || !grad.Eq(piece.Grad) {
+			return nil, fmt.Errorf("inconsistent affine pieces within region %s class %v", r.Key(), x.Mod(p))
+		}
+	}
+	// Classes never witnessed in the census: a determined region contains
+	// arbitrarily large balls (Lemma 7.5), so with an adequate bound every
+	// class appears; report if not.
+	for idx := int64(0); idx < classes; idx++ {
+		if !haveClass[idx] {
+			return nil, fmt.Errorf("congruence class %v not witnessed in region %s; increase Options.Bound",
+				vec.CongruenceClass(idx, p, d), r.Key())
+		}
+	}
+	return quilt.New(grad, p, offsets)
+}
+
+// dominationFailure returns a grid point x ∈ [n, hi] with g(x) < f(x), or
+// nil if g dominates f there (Definition 7.8 checked on the grid).
+func dominationFailure(f *semilinear.Func, g *quilt.Func, n, hi vec.V) vec.V {
+	var bad vec.V
+	vec.Grid(n, hi, func(x vec.V) bool {
+		if g.Eval(x) < f.Eval(x) {
+			bad = x.Clone()
+			return false
+		}
+		return true
+	})
+	return bad
+}
+
+// underDeterminedExtensions builds one extension per strip of the
+// under-determined eventual region u. It returns (terms, negativeReason,
+// err): a nonempty negativeReason means f is not obliviously-computable.
+// detExt pairs a determined eventual region with its unique extension.
+type detExt struct {
+	region *geometry.Region
+	ext    *quilt.Func
+}
+
+func underDeterminedExtensions(
+	f *semilinear.Func,
+	u *geometry.Region,
+	nbrs []detExt,
+	p int64,
+	nEv, hi vec.V,
+	opts Options,
+) ([]*quilt.Func, string, error) {
+	d := f.Dim()
+	wBasis := u.WBasis()
+
+	// Gradient spread test: Lemma 7.16 applies iff for every nonzero
+	// z ∈ W⊥ some pair of neighbor gradients differs along z, i.e. iff
+	// span(W ∪ {∇g_i − ∇g_1}) is all of R^d.
+	spanRows := append([]rat.Vec(nil), wBasis...)
+	g0 := nbrs[0].ext.Gradient()
+	for _, nb := range nbrs[1:] {
+		spanRows = append(spanRows, nb.ext.Gradient().Sub(g0))
+	}
+	fullSpread := rat.Mat(spanRows).Rank() == d
+
+	strips := u.Strips()
+	keys := make([]string, 0, len(strips))
+	for k := range strips {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var terms []*quilt.Func
+	if fullSpread {
+		// Lemma 7.16: average the neighbor gradients, enlarge the period
+		// until the extension is integral and dominates f on the grid.
+		avg := rat.ZeroVec(d)
+		for _, nb := range nbrs {
+			avg = avg.Add(nb.ext.Gradient())
+		}
+		avg = avg.Scale(rat.New(1, int64(len(nbrs))))
+		for _, key := range keys {
+			pts := strips[key]
+			g, reason, err := averagedStripExtension(f, avg, pts, p, nEv, hi, opts)
+			if err != nil {
+				return nil, "", fmt.Errorf("classify: strip %q of region %s: %w", key, u.Key(), err)
+			}
+			if reason != "" {
+				return nil, reason, nil
+			}
+			terms = append(terms, g)
+		}
+		return terms, "", nil
+	}
+
+	// Lemma 7.20: all neighbor gradients agree along some z ∈ W⊥. Adopt a
+	// neighbor's extension; it must agree with f on every strip, else f is
+	// not obliviously-computable (the equation (2) situation).
+	for _, key := range keys {
+		pts := strips[key]
+		adopted := false
+		for _, nb := range nbrs {
+			ok := true
+			for _, x := range pts {
+				if nb.ext.Eval(x) != f.Eval(x) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				terms = append(terms, nb.ext)
+				adopted = true
+				break
+			}
+		}
+		if !adopted {
+			x := pts[len(pts)-1]
+			return nil, fmt.Sprintf(
+				"no quilt-affine extension from strip of region %s eventually dominates f: neighbor gradients agree along W⊥ but f(%v)=%d differs from every neighbor extension (Lemma 7.20 ⇒ Lemma 4.1; cf. equation (2))",
+				u.Key(), x, f.Eval(x)), nil
+		}
+	}
+	return terms, "", nil
+}
+
+// averagedStripExtension implements the Lemma 7.16 construction for one
+// strip: gradient ∇avg, period p* = k·p with p*∇avg ∈ Z^d, offsets pinned
+// to f on the strip's congruence classes and maximized subject to
+// nondecreasingness elsewhere.
+func averagedStripExtension(
+	f *semilinear.Func,
+	avg rat.Vec,
+	strip []vec.V,
+	p int64,
+	nEv, hi vec.V,
+	opts Options,
+) (*quilt.Func, string, error) {
+	for k := int64(1); k <= opts.MaxPeriodScale; k++ {
+		pStar := k * p
+		if !integralScale(avg, pStar) {
+			continue
+		}
+		g, err := buildStripQuilt(f, avg, strip, pStar)
+		if err != nil {
+			// Inconsistent offsets at this period: try a larger one.
+			continue
+		}
+		if bad := dominationFailure(f, g, nEv, hi); bad != nil {
+			// Try a larger period (Lemma 7.16 may need p* large); if we
+			// exhaust the budget this becomes a negative verdict below.
+			continue
+		}
+		return g, "", nil
+	}
+	// No period within budget produced a dominating extension.
+	return nil, fmt.Sprintf(
+		"no quilt-affine extension with gradient %s and period ≤ %d·%d from the strip dominates f (Lemma 7.16 budget)",
+		avg, opts.MaxPeriodScale, p), nil
+}
+
+func integralScale(v rat.Vec, m int64) bool {
+	for _, r := range v {
+		if !r.MulInt(m).IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+// buildStripQuilt constructs the quilt-affine function with gradient avg
+// and period pStar whose offsets agree with f on the strip's congruence
+// classes and are otherwise maximal subject to being nondecreasing:
+// g(x) = min{ g(y) : y ≥ x, y ≡ some strip class (mod p*) }.
+func buildStripQuilt(f *semilinear.Func, avg rat.Vec, strip []vec.V, pStar int64) (*quilt.Func, error) {
+	d := f.Dim()
+	classes := vec.NumClasses(pStar, d)
+	offsets := make([]rat.R, classes)
+	pinned := make([]bool, classes)
+	for _, x := range strip {
+		idx := vec.CongruenceIndex(x, pStar)
+		off := rat.FromInt(f.Eval(x)).Sub(avg.DotInt(x))
+		if pinned[idx] && !offsets[idx].Eq(off) {
+			return nil, fmt.Errorf("offset for class %v inconsistent within strip (period %d too small)", x.Mod(pStar), pStar)
+		}
+		offsets[idx] = off
+		pinned[idx] = true
+	}
+	var pinnedClasses []vec.V
+	for idx := int64(0); idx < classes; idx++ {
+		if pinned[idx] {
+			pinnedClasses = append(pinnedClasses, vec.CongruenceClass(idx, pStar, d))
+		}
+	}
+	if len(pinnedClasses) == 0 {
+		return nil, fmt.Errorf("empty strip")
+	}
+	// Unpinned classes: B*(a) = min over pinned classes c of
+	// avg·((c − a) mod p*) + B*(c); the displacement to the least point
+	// ≥ any representative of a congruent to c.
+	for idx := int64(0); idx < classes; idx++ {
+		if pinned[idx] {
+			continue
+		}
+		a := vec.CongruenceClass(idx, pStar, d)
+		var best rat.R
+		haveBest := false
+		for _, c := range pinnedClasses {
+			disp := c.Sub(a).Mod(pStar) // least nonnegative displacement per coord
+			cand := avg.DotInt(disp).Add(offsets[vec.CongruenceIndex(c, pStar)])
+			if !haveBest || cand.Cmp(best) < 0 {
+				best, haveBest = cand, true
+			}
+		}
+		offsets[idx] = best
+	}
+	return quilt.New(avg, pStar, offsets)
+}
+
+func dedupe(terms []*quilt.Func) []*quilt.Func {
+	var out []*quilt.Func
+	for _, t := range terms {
+		dup := false
+		for _, o := range out {
+			if o.Equal(t) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/semilinear"
+	"crncompose/internal/synth"
+	"crncompose/internal/vec"
+	"crncompose/internal/witness"
+)
+
+func TestCompileVerifySimulateFig4a(t *testing.T) {
+	sys, err := Compile(semilinear.Fig4a(), CompileOptions{Bound: 8, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Net.IsOutputOblivious() {
+		t.Fatal("compiled CRN not output-oblivious")
+	}
+	res, err := sys.Verify(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatal(res)
+	}
+	if _, err := sys.Simulate(vec.New(4, 3), 4, 77); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileOneDim(t *testing.T) {
+	sys, err := Compile(semilinear.FloorThreeHalves(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Verify(0, 15)
+	if err != nil || !res.OK() {
+		t.Fatalf("%v %v", err, res)
+	}
+	if _, err := sys.Simulate(vec.New(101), 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileRejectsMax(t *testing.T) {
+	_, err := Compile(semilinear.Max2(), CompileOptions{})
+	var nce *synth.NotComputableError
+	if !errors.As(err, &nce) {
+		t.Fatalf("err = %v", err)
+	}
+	if nce.Result.Contradiction == nil {
+		t.Fatal("no Lemma 4.1 contradiction attached")
+	}
+}
+
+func TestRejectHelper(t *testing.T) {
+	res, err := Reject(semilinear.Equation2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contradiction == nil {
+		t.Fatal("missing contradiction")
+	}
+	if _, err := Reject(semilinear.Min2()); err == nil {
+		t.Fatal("min rejected")
+	}
+}
+
+func TestDemonstrateFig6(t *testing.T) {
+	// End-to-end Fig 6 via the facade: honest oblivious attempt at max.
+	attempt := mustAttempt(t)
+	fmax := func(x vec.V) int64 { return max(x[0], x[1]) }
+	con := witness.Search(fmax, 2, witness.SearchOptions{})
+	if con == nil {
+		t.Fatal("no contradiction")
+	}
+	over, err := Demonstrate(attempt, fmax, con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Got <= over.Want {
+		t.Fatal("no overproduction")
+	}
+}
+
+func mustAttempt(t *testing.T) *crn.CRN {
+	t.Helper()
+	return crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+}
+
+func TestLibraryComplete(t *testing.T) {
+	names := LibraryNames()
+	if len(names) != len(Library()) {
+		t.Fatal("name list size mismatch")
+	}
+	for _, want := range []string{"min", "max", "fig7", "eq2", "fig4a", "floor3x2"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("library missing %q", want)
+		}
+	}
+	// Every library function must evaluate at the origin without panic.
+	for name, f := range Library() {
+		_ = f.Eval(vec.Zero(f.Dim()))
+		_ = name
+	}
+}

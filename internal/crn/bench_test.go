@@ -1,0 +1,89 @@
+package crn
+
+import (
+	"testing"
+
+	"crncompose/internal/vec"
+)
+
+// Ablation (DESIGN.md): dense []int64 configurations with precompiled
+// sparse reaction deltas (the implementation) versus a naive map-based
+// configuration representation. The dense form is what makes the
+// simulator and the model checker fast.
+
+func benchCRN() *CRN {
+	return MustNew([]Species{"X1", "X2"}, "Y", "", []Reaction{
+		{Reactants: []Term{{Coeff: 1, Sp: "X1"}}, Products: []Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []Term{{Coeff: 1, Sp: "X2"}}, Products: []Term{{Coeff: 1, Sp: "Z2"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Z2"}}, Products: []Term{{Coeff: 1, Sp: "K"}}},
+		{Reactants: []Term{{Coeff: 1, Sp: "K"}, {Coeff: 1, Sp: "Y"}}, Products: nil},
+	})
+}
+
+func BenchmarkApplyDense(b *testing.B) {
+	c := benchCRN()
+	cfg := c.MustInitialConfig(vec.New(1<<30, 1<<30))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ri := i % 2
+		if cfg.Applicable(ri) {
+			cfg.ApplyInPlace(ri)
+		}
+	}
+}
+
+// mapConfig is the naive representation used only by this ablation.
+type mapConfig map[Species]int64
+
+func (m mapConfig) applicable(r Reaction) bool {
+	for _, t := range r.Reactants {
+		if m[t.Sp] < t.Coeff {
+			return false
+		}
+	}
+	return true
+}
+
+func (m mapConfig) apply(r Reaction) {
+	for _, t := range r.Reactants {
+		m[t.Sp] -= t.Coeff
+	}
+	for _, t := range r.Products {
+		m[t.Sp] += t.Coeff
+	}
+}
+
+func BenchmarkApplyMapAblation(b *testing.B) {
+	c := benchCRN()
+	m := mapConfig{"X1": 1 << 30, "X2": 1 << 30}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Reactions[i%2]
+		if m.applicable(r) {
+			m.apply(r)
+		}
+	}
+}
+
+func BenchmarkApplicableScan(b *testing.B) {
+	c := benchCRN()
+	cfg := c.MustInitialConfig(vec.New(100, 100))
+	var scratch []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = cfg.ApplicableReactions(scratch)
+	}
+	_ = scratch
+}
+
+func BenchmarkConfigKey(b *testing.B) {
+	c := benchCRN()
+	cfg := c.MustInitialConfig(vec.New(123456, 654321))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cfg.Key()
+	}
+}

@@ -1,0 +1,295 @@
+// Package crn implements the discrete chemical reaction network model of
+// Section 2.2 of the paper: finite species sets, reactions (R, P) ∈ N^S×N^S,
+// integer-count configurations, applicability and the additive reachability
+// step relation, plus the output-oblivious and output-monotonic structural
+// predicates of Section 2.3.
+package crn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Species is a species name. Names are case-sensitive identifiers.
+type Species string
+
+// Term is one species with a stoichiometric coefficient, as it appears on
+// one side of a reaction.
+type Term struct {
+	Coeff int64
+	Sp    Species
+}
+
+// Reaction consumes Reactants and produces Products. Coefficients are
+// positive; a species may appear on both sides (a catalyst).
+type Reaction struct {
+	Reactants []Term
+	Products  []Term
+	// Name is an optional label used in traces and error messages.
+	Name string
+}
+
+// R returns the total coefficient of sp among the reactants.
+func (r Reaction) R(sp Species) int64 { return coeffOf(r.Reactants, sp) }
+
+// P returns the total coefficient of sp among the products.
+func (r Reaction) P(sp Species) int64 { return coeffOf(r.Products, sp) }
+
+// Net returns P(sp) - R(sp): the net change in sp when the reaction fires.
+func (r Reaction) Net(sp Species) int64 { return r.P(sp) - r.R(sp) }
+
+// Order returns the total reactant coefficient (the molecularity).
+func (r Reaction) Order() int64 {
+	var n int64
+	for _, t := range r.Reactants {
+		n += t.Coeff
+	}
+	return n
+}
+
+func coeffOf(ts []Term, sp Species) int64 {
+	var n int64
+	for _, t := range ts {
+		if t.Sp == sp {
+			n += t.Coeff
+		}
+	}
+	return n
+}
+
+// String renders the reaction in the standard arrow notation, e.g.
+// "X1 + X2 -> Y" or "L -> 2Y + L0". An empty side renders as "0".
+func (r Reaction) String() string {
+	return sideString(r.Reactants) + " -> " + sideString(r.Products)
+}
+
+func sideString(ts []Term) string {
+	if len(ts) == 0 {
+		return "0"
+	}
+	parts := make([]string, 0, len(ts))
+	for _, t := range ts {
+		if t.Coeff == 1 {
+			parts = append(parts, string(t.Sp))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d%s", t.Coeff, t.Sp))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// CRN is a chemical reaction network together with the computational roles
+// defined in Section 2.2: an ordered list of input species, an output
+// species, and an optional leader species.
+type CRN struct {
+	// Inputs are the input species X1..Xd in order.
+	Inputs []Species
+	// Output is the output species Y.
+	Output Species
+	// Leader is the leader species L; empty for leaderless CRNs.
+	Leader Species
+	// Reactions is the reaction set.
+	Reactions []Reaction
+
+	species  []Species          // sorted species universe (lazily built)
+	index    map[Species]int    // species -> dense index
+	compiled []compiledReaction // dense form for fast simulation
+}
+
+type compiledReaction struct {
+	reactants []idxCoeff // consumed counts by species index
+	delta     []idxCoeff // net change by species index
+}
+
+type idxCoeff struct {
+	idx   int
+	coeff int64
+}
+
+// New constructs a CRN with the given roles and reactions, and validates it.
+func New(inputs []Species, output, leader Species, reactions []Reaction) (*CRN, error) {
+	c := &CRN{
+		Inputs:    append([]Species(nil), inputs...),
+		Output:    output,
+		Leader:    leader,
+		Reactions: append([]Reaction(nil), reactions...),
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c.buildIndex()
+	return c, nil
+}
+
+// MustNew is New that panics on error, for statically known CRNs in tests
+// and examples.
+func MustNew(inputs []Species, output, leader Species, reactions []Reaction) *CRN {
+	c, err := New(inputs, output, leader, reactions)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate checks structural well-formedness: nonzero positive coefficients,
+// distinct input species, an output species, and a nonempty species universe
+// that includes the declared roles.
+func (c *CRN) Validate() error {
+	if c.Output == "" {
+		return errors.New("crn: missing output species")
+	}
+	seen := make(map[Species]bool, len(c.Inputs))
+	for _, in := range c.Inputs {
+		if in == "" {
+			return errors.New("crn: empty input species name")
+		}
+		if seen[in] {
+			return fmt.Errorf("crn: duplicate input species %q", in)
+		}
+		seen[in] = true
+	}
+	for i, r := range c.Reactions {
+		if len(r.Reactants) == 0 && len(r.Products) == 0 {
+			return fmt.Errorf("crn: reaction %d is empty", i)
+		}
+		for _, t := range append(append([]Term(nil), r.Reactants...), r.Products...) {
+			if t.Coeff <= 0 {
+				return fmt.Errorf("crn: reaction %d has nonpositive coefficient %d for %q", i, t.Coeff, t.Sp)
+			}
+			if t.Sp == "" {
+				return fmt.Errorf("crn: reaction %d names an empty species", i)
+			}
+		}
+	}
+	return nil
+}
+
+// SpeciesList returns the sorted universe of species: every species named in
+// a reaction, plus the inputs, output, and leader.
+func (c *CRN) SpeciesList() []Species {
+	c.buildIndex()
+	out := make([]Species, len(c.species))
+	copy(out, c.species)
+	return out
+}
+
+// Index returns the dense index of sp, or -1 if the species is unknown.
+func (c *CRN) Index(sp Species) int {
+	c.buildIndex()
+	if i, ok := c.index[sp]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumSpecies returns the size of the species universe.
+func (c *CRN) NumSpecies() int {
+	c.buildIndex()
+	return len(c.species)
+}
+
+func (c *CRN) buildIndex() {
+	if c.index != nil {
+		return
+	}
+	set := make(map[Species]bool)
+	for _, in := range c.Inputs {
+		set[in] = true
+	}
+	set[c.Output] = true
+	if c.Leader != "" {
+		set[c.Leader] = true
+	}
+	for _, r := range c.Reactions {
+		for _, t := range r.Reactants {
+			set[t.Sp] = true
+		}
+		for _, t := range r.Products {
+			set[t.Sp] = true
+		}
+	}
+	species := make([]Species, 0, len(set))
+	for sp := range set {
+		species = append(species, sp)
+	}
+	sort.Slice(species, func(i, j int) bool { return species[i] < species[j] })
+	index := make(map[Species]int, len(species))
+	for i, sp := range species {
+		index[sp] = i
+	}
+	c.species = species
+	c.index = index
+
+	c.compiled = make([]compiledReaction, len(c.Reactions))
+	for ri, r := range c.Reactions {
+		need := make(map[int]int64)
+		delta := make(map[int]int64)
+		for _, t := range r.Reactants {
+			need[index[t.Sp]] += t.Coeff
+			delta[index[t.Sp]] -= t.Coeff
+		}
+		for _, t := range r.Products {
+			delta[index[t.Sp]] += t.Coeff
+		}
+		cr := compiledReaction{}
+		for idx, coeff := range need {
+			cr.reactants = append(cr.reactants, idxCoeff{idx, coeff})
+		}
+		for idx, d := range delta {
+			if d != 0 {
+				cr.delta = append(cr.delta, idxCoeff{idx, d})
+			}
+		}
+		sort.Slice(cr.reactants, func(i, j int) bool { return cr.reactants[i].idx < cr.reactants[j].idx })
+		sort.Slice(cr.delta, func(i, j int) bool { return cr.delta[i].idx < cr.delta[j].idx })
+		c.compiled[ri] = cr
+	}
+}
+
+// IsOutputOblivious reports whether the output species never appears as a
+// reactant (Section 2.3). This is the structural property equivalent to
+// composability via concatenation.
+func (c *CRN) IsOutputOblivious() bool {
+	for _, r := range c.Reactions {
+		if r.R(c.Output) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsOutputMonotonic reports whether no reaction decreases the count of the
+// output species (the weaker property of footnote 7 / Observation 2.4).
+func (c *CRN) IsOutputMonotonic() bool {
+	for _, r := range c.Reactions {
+		if r.Net(c.Output) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dim returns the input arity d.
+func (c *CRN) Dim() int { return len(c.Inputs) }
+
+// String renders the CRN with role directives followed by one reaction per
+// line, in a format accepted by the parse package.
+func (c *CRN) String() string {
+	var sb strings.Builder
+	names := make([]string, len(c.Inputs))
+	for i, in := range c.Inputs {
+		names[i] = string(in)
+	}
+	fmt.Fprintf(&sb, "#input %s\n", strings.Join(names, " "))
+	fmt.Fprintf(&sb, "#output %s\n", c.Output)
+	if c.Leader != "" {
+		fmt.Fprintf(&sb, "#leader %s\n", c.Leader)
+	}
+	for _, r := range c.Reactions {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,331 @@
+// Package figures regenerates the data behind every figure in the paper's
+// evaluation (Figures 1–8). Each generator returns a Table (header row plus
+// data rows) that cmd/figures renders as CSV; the root bench_test.go
+// benchmarks the same generators so `go test -bench .` exercises every
+// figure. EXPERIMENTS.md records the paper-vs-measured comparison for each.
+package figures
+
+import (
+	"fmt"
+
+	"crncompose/internal/classify"
+	"crncompose/internal/crn"
+	"crncompose/internal/geometry"
+	"crncompose/internal/quilt"
+	"crncompose/internal/rat"
+	"crncompose/internal/reach"
+	"crncompose/internal/scaling"
+	"crncompose/internal/semilinear"
+	"crncompose/internal/sim"
+	"crncompose/internal/synth"
+	"crncompose/internal/vec"
+	"crncompose/internal/witness"
+)
+
+// Table is a header row plus data rows, renderable as CSV.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+func (t *Table) add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func itoa(v int64) string   { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.6f", v) }
+func btoa(v bool) string    { return fmt.Sprintf("%v", v) }
+func vtoa(v vec.V) string   { return v.Key() }
+
+// Fig1 exercises the three CRNs of Figure 1 (2x, min, max): for a sweep of
+// inputs it simulates each CRN with the fair scheduler and compares the
+// stabilized output against the target function.
+func Fig1(sizes []int64, seed uint64) (*Table, error) {
+	t := &Table{Name: "fig1", Header: []string{"crn", "x1", "x2", "expected", "simulated", "steps", "converged"}}
+	type entry struct {
+		name string
+		c    *crn.CRN
+		f    func(x vec.V) int64
+		oneD bool
+	}
+	entries := []entry{
+		{"double", synth.DoubleCRN(), func(x vec.V) int64 { return 2 * x[0] }, true},
+		{"min", synth.MinCRN(2), func(x vec.V) int64 { return min(x[0], x[1]) }, false},
+		{"max", synth.MaxCRN(), func(x vec.V) int64 { return max(x[0], x[1]) }, false},
+	}
+	for _, e := range entries {
+		for _, n := range sizes {
+			var x vec.V
+			if e.oneD {
+				x = vec.New(n)
+			} else {
+				x = vec.New(n, n/2+1)
+			}
+			start, err := e.c.InitialConfig(x)
+			if err != nil {
+				return nil, err
+			}
+			r := sim.FairRandom(start, sim.WithSeed(seed))
+			x2 := int64(0)
+			if !e.oneD {
+				x2 = x[1]
+			}
+			t.add(e.name, itoa(x[0]), itoa(x2), itoa(e.f(x)), itoa(r.Final.Output()), itoa(r.Steps), btoa(r.Converged))
+		}
+	}
+	return t, nil
+}
+
+// Fig2 compares the two CRNs for min(1, x) of Figure 2: the leaderless
+// non-output-oblivious one and the leadered output-oblivious one, verifying
+// both by model checking and reporting the structural properties.
+func Fig2(hi int64) (*Table, error) {
+	t := &Table{Name: "fig2", Header: []string{"crn", "leader", "output_oblivious", "verified_range", "verified"}}
+	f := func(x []int64) int64 { return min(1, x[0]) }
+	for _, e := range []struct {
+		name string
+		c    *crn.CRN
+	}{
+		{"leaderless X->Y; 2Y->Y", synth.MinConst1Leaderless()},
+		{"leadered L+X->Y", synth.MinConst1Leadered()},
+	} {
+		res, err := reach.CheckGrid(e.c, f, []int64{0}, []int64{hi})
+		if err != nil {
+			return nil, err
+		}
+		t.add(e.name, string(e.c.Leader), btoa(e.c.IsOutputOblivious()),
+			fmt.Sprintf("0..%d", hi), btoa(res.OK()))
+	}
+	return t, nil
+}
+
+// Fig3a emits the series of the 1D quilt-affine function ⌊3x/2⌋ together
+// with the output of the Lemma 6.1 CRN at each point.
+func Fig3a(hi int64) (*Table, error) {
+	g := quilt.MustNew(rat.NewVec(rat.New(3, 2)), 2, []rat.R{rat.Zero(), rat.New(-1, 2)})
+	c, err := synth.FromQuilt(g)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: "fig3a", Header: []string{"x", "g", "crn_output"}}
+	for x := int64(0); x <= hi; x++ {
+		r := sim.FairRandom(c.MustInitialConfig(vec.New(x)), sim.WithSeed(7))
+		t.add(itoa(x), itoa(g.Eval(vec.New(x))), itoa(r.Final.Output()))
+	}
+	return t, nil
+}
+
+// Fig3b emits the 2D quilt-affine surface g(x) = (1,2)·x + B(x mod 3)
+// together with the Lemma 6.1 CRN's stabilized output at each grid point.
+func Fig3b(hi int64) (*Table, error) {
+	f := semilinear.Fig3b()
+	res, err := classify.Analyze(f, classify.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Computable || len(res.EventualMin.Terms) != 1 {
+		return nil, fmt.Errorf("fig3b should classify as a single quilt-affine term")
+	}
+	c, err := synth.FromQuilt(res.EventualMin.Terms[0])
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: "fig3b", Header: []string{"x1", "x2", "g", "crn_output"}}
+	var firstErr error
+	vec.Grid(vec.Zero(2), vec.Const(2, hi), func(x vec.V) bool {
+		r := sim.FairRandom(c.MustInitialConfig(x), sim.WithSeed(11))
+		t.add(itoa(x[0]), itoa(x[1]), itoa(f.Eval(x)), itoa(r.Final.Output()))
+		return true
+	})
+	return t, firstErr
+}
+
+// Fig4a emits the surface of the Figure 4a style function together with its
+// eventually-min decomposition term values.
+func Fig4a(hi int64) (*Table, error) {
+	f := semilinear.Fig4a()
+	res, err := classify.Analyze(f, classify.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Computable {
+		return nil, fmt.Errorf("fig4a not computable: %s", res.Reason)
+	}
+	t := &Table{Name: "fig4a", Header: []string{"x1", "x2", "f", "min_of_terms", "num_terms"}}
+	vec.Grid(vec.Zero(2), vec.Const(2, hi), func(x vec.V) bool {
+		t.add(itoa(x[0]), itoa(x[1]), itoa(f.Eval(x)),
+			itoa(res.EventualMin.Eval(x)), itoa(int64(len(res.EventualMin.Terms))))
+		return true
+	})
+	return t, nil
+}
+
+// Fig4b emits the ∞-scaling f̂ of the Fig 4a function on a positive grid:
+// the exact min-of-gradients value and the numeric estimate (Theorem 8.2 /
+// the continuous class of Chalk et al.).
+func Fig4b(gridMax, scale int64) (*Table, error) {
+	f := semilinear.Fig4a()
+	res, err := classify.Analyze(f, classify.Options{})
+	if err != nil {
+		return nil, err
+	}
+	eval := func(x vec.V) int64 { return f.Eval(x) }
+	t := &Table{Name: "fig4b", Header: []string{"z1", "z2", "fhat_exact", "fhat_estimate", "abs_err"}}
+	var firstErr error
+	vec.Grid(vec.Const(2, 1), vec.Const(2, gridMax), func(z vec.V) bool {
+		rep, err := scaling.Compare(eval, res.EventualMin, rat.VecFromInts(z), scale)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		t.add(itoa(z[0]), itoa(z[1]), ftoa(rep.Exact), ftoa(rep.Estimate), ftoa(rep.AbsErr))
+		return true
+	})
+	return t, firstErr
+}
+
+// Fig5 emits the eventually-quilt-affine structure of a 1D semilinear
+// nondecreasing function: values, finite differences, and the fitted
+// (n, p, δ) parameters, plus the Theorem 3.1 CRN's output at each point.
+func Fig5(hi int64) (*Table, error) {
+	f := func(x int64) int64 {
+		// Finite irregularity then period-3 growth (the Fig 5 shape).
+		table := []int64{0, 2, 3, 7}
+		if x < int64(len(table)) {
+			return table[x]
+		}
+		return 7 + 2*(x-3) + (x-3)/3
+	}
+	spec, err := synth.FitOneDim(f, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	c, err := synth.OneDim(spec)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: "fig5", Header: []string{"x", "f", "delta", "fitted_n", "fitted_p", "crn_output"}}
+	for x := int64(0); x <= hi; x++ {
+		r := sim.FairRandom(c.MustInitialConfig(vec.New(x)), sim.WithSeed(3))
+		t.add(itoa(x), itoa(f(x)), itoa(f(x+1)-f(x)), itoa(spec.N), itoa(spec.P), itoa(r.Final.Output()))
+	}
+	return t, nil
+}
+
+// Fig6 reproduces the Lemma 4.1 experiment: a contradiction sequence for
+// max, and the explicit overproducing schedule against an output-oblivious
+// CRN attempt.
+func Fig6() (*Table, error) {
+	fmax := func(x vec.V) int64 { return max(x[0], x[1]) }
+	con := witness.Search(fmax, 2, witness.SearchOptions{})
+	if con == nil {
+		return nil, fmt.Errorf("no contradiction found for max")
+	}
+	attempt := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	over, err := witness.BuildOverproduction(attempt, fmax, con)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: "fig6", Header: []string{"quantity", "value"}}
+	t.add("sequence_base", vtoa(con.Base))
+	t.add("sequence_step", vtoa(con.Step))
+	t.add("sequence_length", itoa(int64(con.K)))
+	t.add("dickson_pair_i", itoa(int64(over.I)))
+	t.add("dickson_pair_j", itoa(int64(over.J)))
+	t.add("delta", vtoa(over.Delta))
+	t.add("input", vtoa(over.AjPlusDelta))
+	t.add("correct_max", itoa(over.Want))
+	t.add("overproduced", itoa(over.Got))
+	t.add("trace_length", itoa(int64(len(over.Trace.Reactions))))
+	return t, nil
+}
+
+// Fig7 emits the Section 7.1 example: the function values and the three
+// quilt-affine extensions g1, g2, gU recovered by the classifier, verifying
+// f = min(g1, g2, gU).
+func Fig7(hi int64) (*Table, error) {
+	f := semilinear.Fig7()
+	res, err := classify.Analyze(f, classify.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Computable {
+		return nil, fmt.Errorf("fig7 not computable: %s", res.Reason)
+	}
+	t := &Table{Name: "fig7", Header: []string{"x1", "x2", "f", "g1", "g2", "gU", "min"}}
+	terms := res.EventualMin.Terms
+	if len(terms) != 3 {
+		return nil, fmt.Errorf("fig7 decomposed into %d terms, want 3", len(terms))
+	}
+	// Order: affine terms first, the period-2 averaged extension last.
+	var affs []*quilt.Func
+	var gu *quilt.Func
+	for _, g := range terms {
+		if g.Period() == 2 {
+			gu = g
+		} else {
+			affs = append(affs, g)
+		}
+	}
+	if gu == nil || len(affs) != 2 {
+		return nil, fmt.Errorf("fig7 terms not in expected shape")
+	}
+	vec.Grid(vec.Zero(2), vec.Const(2, hi), func(x vec.V) bool {
+		t.add(itoa(x[0]), itoa(x[1]), itoa(f.Eval(x)),
+			itoa(affs[0].Eval(x)), itoa(affs[1].Eval(x)), itoa(gu.Eval(x)),
+			itoa(res.EventualMin.Eval(x)))
+		return true
+	})
+	return t, nil
+}
+
+// Fig8 emits the region census of the two arrangements of Figure 8: region
+// sign key, recession cone dimension, eventual/determined flags, and strip
+// count.
+func Fig8() (*Table, error) {
+	t := &Table{Name: "fig8", Header: []string{"arrangement", "region", "recc_dim", "eventual", "determined", "strips", "points"}}
+	arr2 := geometry.NewArrangement(2,
+		[]vec.V{vec.New(1, -1), vec.New(1, -1), vec.New(1, 1)},
+		[]int64{1, -3, 4})
+	for _, r := range arr2.Census(14) {
+		t.add("fig8a(2D)", r.Key(), itoa(int64(r.ReccDim())), btoa(r.IsEventual()),
+			btoa(r.IsDetermined()), itoa(int64(len(r.Strips()))), itoa(int64(len(r.Points))))
+	}
+	arr3 := geometry.NewArrangement(3,
+		[]vec.V{vec.New(1, -1, 0), vec.New(1, -1, 0), vec.New(1, 0, -1), vec.New(1, 0, -1)},
+		[]int64{3, -2, 3, -2})
+	for _, r := range arr3.Census(10) {
+		t.add("fig8c(3D)", r.Key(), itoa(int64(r.ReccDim())), btoa(r.IsEventual()),
+			btoa(r.IsDetermined()), itoa(int64(len(r.Strips()))), itoa(int64(len(r.Points))))
+	}
+	return t, nil
+}
+
+// All runs every figure generator with default parameters.
+func All() ([]*Table, error) {
+	var out []*Table
+	type gen func() (*Table, error)
+	gens := []gen{
+		func() (*Table, error) { return Fig1([]int64{10, 100, 1000}, 1) },
+		func() (*Table, error) { return Fig2(12) },
+		func() (*Table, error) { return Fig3a(20) },
+		func() (*Table, error) { return Fig3b(8) },
+		func() (*Table, error) { return Fig4a(10) },
+		func() (*Table, error) { return Fig4b(4, 2048) },
+		func() (*Table, error) { return Fig5(20) },
+		Fig6,
+		func() (*Table, error) { return Fig7(10) },
+		Fig8,
+	}
+	for _, g := range gens {
+		t, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

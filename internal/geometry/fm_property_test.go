@@ -1,0 +1,134 @@
+package geometry
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"crncompose/internal/rat"
+)
+
+// TestFMAgainstBruteForce cross-validates Fourier–Motzkin feasibility
+// against a dense rational grid search on random small systems. If FM says
+// feasible, its witness is checked exactly; if FM says infeasible, no grid
+// point may satisfy the system.
+func TestFMAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		d := 2 + rng.IntN(2) // 2 or 3 variables
+		sys := NewSystem(d)
+		numC := 2 + rng.IntN(4)
+		for i := 0; i < numC; i++ {
+			a := make(rat.Vec, d)
+			for j := range a {
+				a[j] = rat.FromInt(rng.Int64N(5) - 2)
+			}
+			b := rat.FromInt(rng.Int64N(7) - 3)
+			sys.Add(a, b, rng.IntN(3) == 0)
+		}
+		y, feasible := sys.Feasible()
+		if feasible {
+			// The witness must satisfy every constraint exactly.
+			for _, c := range sys.Constraints {
+				v := c.A.Dot(y).Sub(c.B)
+				if (c.Strict && v.Sign() <= 0) || (!c.Strict && v.Sign() < 0) {
+					t.Fatalf("trial %d: witness %v violates %s", trial, y, c)
+				}
+			}
+			continue
+		}
+		// Brute force: scan a half-integer grid; any satisfying point
+		// contradicts infeasibility. (The converse direction — FM feasible
+		// but grid empty — is legitimate, so only this direction is
+		// checked.)
+		if p := bruteForcePoint(sys, 8); p != nil {
+			t.Fatalf("trial %d: FM says infeasible but %v satisfies the system", trial, p)
+		}
+	}
+}
+
+// bruteForcePoint scans the grid {-lim..lim}/2 per coordinate for a point
+// satisfying the system.
+func bruteForcePoint(sys *System, lim int64) rat.Vec {
+	d := sys.D
+	pt := make(rat.Vec, d)
+	var rec func(i int) rat.Vec
+	rec = func(i int) rat.Vec {
+		if i == d {
+			for _, c := range sys.Constraints {
+				v := c.A.Dot(pt).Sub(c.B)
+				if (c.Strict && v.Sign() <= 0) || (!c.Strict && v.Sign() < 0) {
+					return nil
+				}
+			}
+			out := make(rat.Vec, d)
+			copy(out, pt)
+			return out
+		}
+		for n := -lim; n <= lim; n++ {
+			pt[i] = rat.New(n, 2)
+			if res := rec(i + 1); res != nil {
+				return res
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// TestConeDimensionMonotone checks dim recc(R) consistency: adding a
+// constraint can only shrink the cone, never grow its dimension.
+func TestConeDimensionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 17))
+	for trial := 0; trial < 100; trial++ {
+		d := 2 + rng.IntN(2)
+		var normals []rat.Vec
+		for i := 0; i < 2+rng.IntN(3); i++ {
+			a := make(rat.Vec, d)
+			zero := true
+			for j := range a {
+				v := rng.Int64N(5) - 2
+				a[j] = rat.FromInt(v)
+				if v != 0 {
+					zero = false
+				}
+			}
+			if zero {
+				continue
+			}
+			normals = append(normals, a)
+		}
+		dimOf := func(rows []rat.Vec) int {
+			// Mimic Region.analyze on a raw cone {y ≥ 0, rows·y ≥ 0}.
+			all := append([]rat.Vec(nil), rows...)
+			for j := 0; j < d; j++ {
+				e := rat.ZeroVec(d)
+				e[j] = rat.One()
+				all = append(all, e)
+			}
+			var impl []rat.Vec
+			for _, m := range all {
+				sys := NewSystem(d)
+				for _, row := range all {
+					sys.AddGeqZero(row)
+				}
+				sys.Add(m, rat.Zero(), true)
+				if _, ok := sys.Feasible(); !ok {
+					impl = append(impl, m)
+				}
+			}
+			if len(impl) == 0 {
+				return d
+			}
+			return d - rat.Mat(impl).Rank()
+		}
+		prev := d
+		for k := 0; k <= len(normals); k++ {
+			cur := dimOf(normals[:k])
+			if cur > prev {
+				t.Fatalf("trial %d: cone dimension grew from %d to %d after adding a constraint", trial, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}

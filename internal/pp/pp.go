@@ -1,0 +1,213 @@
+// Package pp provides the population-protocol substrate referenced in the
+// paper's introduction: population protocols are the subclass of CRNs whose
+// reactions have exactly two reactants and two products.
+//
+// Two pieces are implemented:
+//
+//   - Decompose (footnote 5 of the paper): any higher-order reaction such
+//     as 3X → Y is converted to reactions with at most two reactants via
+//     reversible complexation (2X ↔ X2, X + X2 → Y), preserving stable
+//     computation;
+//   - a pair-interaction simulator for CRNs in strict population-protocol
+//     form, scheduling uniformly random agent pairs.
+package pp
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"crncompose/internal/crn"
+)
+
+// Decompose rewrites every reaction with more than two total reactants into
+// an equivalent chain using reversible complex-formation reactions, exactly
+// as in footnote 5 of the paper. Reactions with ≤ 2 reactants pass through
+// unchanged. The output CRN computes the same function: complexes can
+// always dissociate, so no partial complex is ever stuck.
+func Decompose(c *crn.CRN) (*crn.CRN, error) {
+	var out []crn.Reaction
+	complexes := make(map[string]crn.Species)
+	fresh := 0
+
+	// complexOf returns a species representing the bound pair (a, b),
+	// adding the reversible binding reactions on first use.
+	complexOf := func(a, b crn.Species) crn.Species {
+		key := string(a) + "+" + string(b)
+		if b < a {
+			key = string(b) + "+" + string(a)
+		}
+		if sp, ok := complexes[key]; ok {
+			return sp
+		}
+		fresh++
+		sp := crn.Species(fmt.Sprintf("cplx%d", fresh))
+		complexes[key] = sp
+		var reactants []crn.Term
+		if a == b {
+			reactants = []crn.Term{{Coeff: 2, Sp: a}}
+		} else {
+			reactants = []crn.Term{{Coeff: 1, Sp: a}, {Coeff: 1, Sp: b}}
+		}
+		out = append(out,
+			crn.Reaction{Reactants: reactants, Products: []crn.Term{{Coeff: 1, Sp: sp}}, Name: "bind " + key},
+			crn.Reaction{Reactants: []crn.Term{{Coeff: 1, Sp: sp}}, Products: reactants, Name: "unbind " + key},
+		)
+		return sp
+	}
+
+	for _, r := range c.Reactions {
+		if r.Order() <= 2 {
+			out = append(out, r)
+			continue
+		}
+		// Flatten the reactant multiset and fold it into a single complex.
+		var flat []crn.Species
+		for _, t := range r.Reactants {
+			for k := int64(0); k < t.Coeff; k++ {
+				flat = append(flat, t.Sp)
+			}
+		}
+		cur := flat[0]
+		for i := 1; i < len(flat)-1; i++ {
+			cur = complexOf(cur, flat[i])
+		}
+		// Final step: cur + last reactant → products.
+		last := flat[len(flat)-1]
+		var reactants []crn.Term
+		if cur == last {
+			reactants = []crn.Term{{Coeff: 2, Sp: cur}}
+		} else {
+			reactants = []crn.Term{{Coeff: 1, Sp: cur}, {Coeff: 1, Sp: last}}
+		}
+		out = append(out, crn.Reaction{Reactants: reactants, Products: r.Products, Name: r.Name})
+	}
+	return crn.New(c.Inputs, c.Output, c.Leader, out)
+}
+
+// IsPopulationProtocol reports whether every reaction has exactly two
+// reactants and exactly two products (counting multiplicity), the strict
+// population-protocol form.
+func IsPopulationProtocol(c *crn.CRN) bool {
+	for _, r := range c.Reactions {
+		var products int64
+		for _, t := range r.Products {
+			products += t.Coeff
+		}
+		if r.Order() != 2 || products != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// PadToProtocol converts a CRN with at-most-2-reactant/at-most-2-product
+// reactions into strict population-protocol form by padding both sides
+// with an inert "blank" species F. Reactions that change the total
+// molecular count cannot be padded (population protocols conserve agent
+// count) and cause an error unless the deficit is on the product side only
+// — a product deficit is filled with F, and a reactant deficit consumes F
+// (so initial configurations must include enough blanks).
+func PadToProtocol(c *crn.CRN, blank crn.Species) (*crn.CRN, error) {
+	var out []crn.Reaction
+	for _, r := range c.Reactions {
+		var nr, np int64
+		for _, t := range r.Reactants {
+			nr += t.Coeff
+		}
+		for _, t := range r.Products {
+			np += t.Coeff
+		}
+		if nr > 2 || np > 2 {
+			return nil, fmt.Errorf("pp: reaction %s has order > 2; run Decompose first", r)
+		}
+		reactants := append([]crn.Term(nil), r.Reactants...)
+		products := append([]crn.Term(nil), r.Products...)
+		if nr < 2 {
+			reactants = append(reactants, crn.Term{Coeff: 2 - nr, Sp: blank})
+		}
+		if np < 2 {
+			products = append(products, crn.Term{Coeff: 2 - np, Sp: blank})
+		}
+		out = append(out, crn.Reaction{Reactants: reactants, Products: products, Name: r.Name})
+	}
+	return crn.New(c.Inputs, c.Output, c.Leader, out)
+}
+
+// SimulatePairs runs the population-protocol scheduler: repeatedly pick an
+// ordered pair of distinct molecules uniformly at random; if some reaction
+// matches the pair's species, apply it. The run stops after maxSteps
+// interactions or when no reaction is applicable at all (then converged).
+// The CRN must be in strict population-protocol form.
+func SimulatePairs(start crn.Config, seed uint64, maxSteps int64) (crn.Config, int64, bool) {
+	c := start.CRN()
+	if !IsPopulationProtocol(c) {
+		panic("pp: CRN is not in population-protocol form")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xA5A5A5A5DEADBEEF))
+	cur := start.Clone()
+	species := c.SpeciesList()
+
+	var interactions int64
+	failStreak := 0
+	for interactions < maxSteps {
+		if cur.IsTerminal() {
+			return cur, interactions, true
+		}
+		total := cur.Total()
+		if total < 2 {
+			return cur, interactions, true
+		}
+		// Sample two distinct molecules uniformly.
+		i := rng.Int64N(total)
+		j := rng.Int64N(total - 1)
+		if j >= i {
+			j++
+		}
+		a := speciesAt(cur, species, i)
+		b := speciesAt(cur, species, j)
+		fired := false
+		for ri, r := range c.Reactions {
+			if pairMatches(r, a, b) && cur.Applicable(ri) {
+				cur.ApplyInPlace(ri)
+				fired = true
+				interactions++
+				failStreak = 0
+				break
+			}
+		}
+		if !fired {
+			failStreak++
+			interactions++
+			// A long streak of null interactions on a terminal-for-pairs
+			// configuration means convergence in practice.
+			if failStreak > int(16*total*total) {
+				return cur, interactions, cur.IsTerminal()
+			}
+		}
+	}
+	return cur, interactions, false
+}
+
+func speciesAt(cf crn.Config, species []crn.Species, idx int64) crn.Species {
+	for _, sp := range species {
+		n := cf.Count(sp)
+		if idx < n {
+			return sp
+		}
+		idx -= n
+	}
+	panic("pp: molecule index out of range")
+}
+
+func pairMatches(r crn.Reaction, a, b crn.Species) bool {
+	// The reaction's reactant multiset must be exactly {a, b}.
+	switch len(r.Reactants) {
+	case 1:
+		return r.Reactants[0].Coeff == 2 && a == b && a == r.Reactants[0].Sp
+	case 2:
+		x, y := r.Reactants[0].Sp, r.Reactants[1].Sp
+		return (x == a && y == b) || (x == b && y == a)
+	default:
+		return false
+	}
+}

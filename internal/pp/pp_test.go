@@ -1,0 +1,177 @@
+package pp
+
+import (
+	"testing"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/reach"
+	"crncompose/internal/vec"
+)
+
+func TestDecomposeTriple(t *testing.T) {
+	// Footnote 5: 3X → Y becomes 2X ↔ X2 and X + X2 → Y.
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 3, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	dec, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Reactions) != 3 {
+		t.Fatalf("decomposed into %d reactions, want 3:\n%s", len(dec.Reactions), dec)
+	}
+	for _, r := range dec.Reactions {
+		if r.Order() > 2 {
+			t.Fatalf("reaction %s still has order > 2", r)
+		}
+	}
+	// Same function: ⌊x/3⌋.
+	res, err := reach.CheckGrid(dec, func(x []int64) int64 { return x[0] / 3 },
+		[]int64{0}, []int64{12})
+	if err != nil || !res.OK() {
+		t.Fatalf("%v %v", err, res)
+	}
+}
+
+func TestDecomposePreservesOblivious(t *testing.T) {
+	// (n+1)X → nX + Y clamp with n = 2 has order 3.
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 3, Sp: "X"}}, Products: []crn.Term{{Coeff: 2, Sp: "X"}, {Coeff: 1, Sp: "Y"}}},
+	})
+	dec, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.IsOutputOblivious() {
+		t.Error("decomposition broke output-obliviousness")
+	}
+	res, err := reach.CheckGrid(dec, func(x []int64) int64 { return max(x[0]-2, 0) },
+		[]int64{0}, []int64{10})
+	if err != nil || !res.OK() {
+		t.Fatalf("%v %v", err, res)
+	}
+}
+
+func TestDecomposeMixedReactants(t *testing.T) {
+	// 2A + B → Y: complex of (A,A) then + B.
+	c := crn.MustNew([]crn.Species{"A", "B"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 2, Sp: "A"}, {Coeff: 1, Sp: "B"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	dec, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x []int64) int64 { return min(x[0]/2, x[1]) }
+	res, err := reach.CheckGrid(dec, f, []int64{0, 0}, []int64{6, 4})
+	if err != nil || !res.OK() {
+		t.Fatalf("%v %v", err, res)
+	}
+}
+
+func TestDecomposePassThrough(t *testing.T) {
+	c := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	dec, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Reactions) != 1 {
+		t.Error("bimolecular reaction should pass through unchanged")
+	}
+}
+
+func TestIsPopulationProtocol(t *testing.T) {
+	pp := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}, {Coeff: 1, Sp: "F"}}},
+	})
+	if !IsPopulationProtocol(pp) {
+		t.Error("2/2 reaction not recognized")
+	}
+	notPP := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 2, Sp: "Y"}}},
+	})
+	if IsPopulationProtocol(notPP) {
+		t.Error("1-reactant reaction recognized as PP")
+	}
+}
+
+func TestPadToProtocol(t *testing.T) {
+	// min CRN: X1 + X2 → Y has one product; pad with F.
+	c := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	padded, err := PadToProtocol(c, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPopulationProtocol(padded) {
+		t.Fatalf("padding did not reach PP form:\n%s", padded)
+	}
+	// Order > 2 rejected.
+	big := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 3, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	if _, err := PadToProtocol(big, "F"); err == nil {
+		t.Error("order-3 reaction padded")
+	}
+}
+
+func TestSimulatePairsComputesMin(t *testing.T) {
+	c := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}, {Coeff: 1, Sp: "F"}}},
+	})
+	if !IsPopulationProtocol(c) {
+		t.Fatal("not in PP form")
+	}
+	final, steps, converged := SimulatePairs(c.MustInitialConfig(vec.New(30, 18)), 5, 1_000_000)
+	if !converged {
+		t.Fatalf("did not converge after %d interactions", steps)
+	}
+	if got := final.Output(); got != 18 {
+		t.Errorf("min(30,18) = %d", got)
+	}
+}
+
+func TestSimulatePairsLeaderProtocol(t *testing.T) {
+	// Leader-based min(1, x) in PP form: L + X → Y + F.
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "L", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "L"}, {Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}, {Coeff: 1, Sp: "F"}}},
+	})
+	final, _, converged := SimulatePairs(c.MustInitialConfig(vec.New(10)), 9, 1_000_000)
+	if !converged || final.Output() != 1 {
+		t.Fatalf("converged=%v output=%d", converged, final.Output())
+	}
+}
+
+func TestDecomposeThenPadPipeline(t *testing.T) {
+	// Full pipeline on 3X → Y: decompose (footnote 5), then pad to strict
+	// PP form, then simulate with the pair scheduler. Padding adds
+	// blank-consuming unbind reactions, so the configuration seeds blanks.
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 3, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	dec, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := PadToProtocol(dec, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPopulationProtocol(padded) {
+		t.Fatal("pipeline did not reach PP form")
+	}
+	// Simulate with enough blanks for the padded unbind reactions.
+	cfg, err := padded.ConfigFromCounts(map[crn.Species]int64{"X": 9, "F": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, converged := SimulatePairs(cfg, 11, 2_000_000)
+	if !converged {
+		t.Fatal("did not converge")
+	}
+	if got := final.Output(); got != 3 {
+		t.Errorf("⌊9/3⌋ = %d, want 3", got)
+	}
+}

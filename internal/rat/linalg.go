@@ -1,0 +1,391 @@
+package rat
+
+import (
+	"fmt"
+	"strings"
+
+	"crncompose/internal/vec"
+)
+
+// Vec is a vector of rationals.
+type Vec []R
+
+// NewVec copies rs into a fresh rational vector.
+func NewVec(rs ...R) Vec {
+	v := make(Vec, len(rs))
+	copy(v, rs)
+	return v
+}
+
+// VecFromInts converts an integer vector to a rational vector.
+func VecFromInts(v vec.V) Vec {
+	out := make(Vec, len(v))
+	for i, x := range v {
+		out[i] = FromInt(x)
+	}
+	return out
+}
+
+// ZeroVec returns the d-dimensional zero vector.
+func ZeroVec(d int) Vec {
+	v := make(Vec, d)
+	for i := range v {
+		v[i] = Zero()
+	}
+	return v
+}
+
+// Dim returns the dimension of v.
+func (v Vec) Dim() int { return len(v) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec {
+	mustDim(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i].Add(w[i])
+	}
+	return out
+}
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec {
+	mustDim(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i].Sub(w[i])
+	}
+	return out
+}
+
+// Scale returns c*v.
+func (v Vec) Scale(c R) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i].Mul(c)
+	}
+	return out
+}
+
+// Dot returns the inner product v · w.
+func (v Vec) Dot(w Vec) R {
+	mustDim(v, w)
+	s := Zero()
+	for i := range v {
+		s = s.Add(v[i].Mul(w[i]))
+	}
+	return s
+}
+
+// DotInt returns v · x for an integer vector x.
+func (v Vec) DotInt(x vec.V) R {
+	if len(v) != len(x) {
+		panic(fmt.Sprintf("rat: dimension mismatch %d vs %d", len(v), len(x)))
+	}
+	s := Zero()
+	for i := range v {
+		s = s.Add(v[i].MulInt(x[i]))
+	}
+	return s
+}
+
+// Eq reports componentwise equality.
+func (v Vec) Eq(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if !v[i].Eq(w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every component is 0.
+func (v Vec) IsZero() bool {
+	for _, r := range v {
+		if !r.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Nonnegative reports whether every component is ≥ 0.
+func (v Vec) Nonnegative() bool {
+	for _, r := range v {
+		if r.Sign() < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders v as "(a, b, ...)".
+func (v Vec) String() string {
+	parts := make([]string, len(v))
+	for i, r := range v {
+		parts[i] = r.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CommonDenominator returns the least common multiple of all component
+// denominators (1 for the empty vector).
+func (v Vec) CommonDenominator() int64 {
+	l := int64(1)
+	for _, r := range v {
+		l = LCM(l, r.Den())
+	}
+	return l
+}
+
+// ScaleToInt multiplies v by the common denominator and returns the
+// resulting integer vector along with the multiplier used.
+func (v Vec) ScaleToInt() (vec.V, int64) {
+	l := v.CommonDenominator()
+	out := make(vec.V, len(v))
+	for i, r := range v {
+		out[i] = r.MulInt(l).Int()
+	}
+	return out, l
+}
+
+func mustDim(v, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("rat: dimension mismatch %d vs %d", len(v), len(w)))
+	}
+}
+
+// Mat is a dense rational matrix (rows × cols), stored row-major as rows.
+type Mat []Vec
+
+// NewMat builds a matrix from rows, cloning each.
+func NewMat(rows ...Vec) Mat {
+	m := make(Mat, len(rows))
+	for i, r := range rows {
+		m[i] = r.Clone()
+	}
+	return m
+}
+
+// Rows and Cols return the dimensions; a 0-row matrix has 0 columns.
+func (m Mat) Rows() int { return len(m) }
+func (m Mat) Cols() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+// Clone deep-copies the matrix.
+func (m Mat) Clone() Mat {
+	out := make(Mat, len(m))
+	for i, r := range m {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m Mat) MulVec(v Vec) Vec {
+	out := make(Vec, len(m))
+	for i, row := range m {
+		out[i] = row.Dot(v)
+	}
+	return out
+}
+
+// Rank returns the rank of m using exact Gaussian elimination.
+func (m Mat) Rank() int {
+	a := m.Clone()
+	rows, cols := a.Rows(), a.Cols()
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := rank; r < rows; r++ {
+			if !a[r][col].IsZero() {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[rank], a[pivot] = a[pivot], a[rank]
+		// Eliminate below.
+		for r := rank + 1; r < rows; r++ {
+			if a[r][col].IsZero() {
+				continue
+			}
+			factor := a[r][col].Div(a[rank][col])
+			for c := col; c < cols; c++ {
+				a[r][c] = a[r][c].Sub(factor.Mul(a[rank][c]))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Solve finds one solution x to the linear system m·x = b, returning
+// (x, true) if the system is consistent and (nil, false) otherwise. When the
+// system is under-determined, free variables are set to zero.
+func (m Mat) Solve(b Vec) (Vec, bool) {
+	rows, cols := m.Rows(), m.Cols()
+	if len(b) != rows {
+		panic("rat: Solve dimension mismatch")
+	}
+	// Augmented matrix.
+	a := make(Mat, rows)
+	for i := range a {
+		a[i] = make(Vec, cols+1)
+		copy(a[i], m[i])
+		a[i][cols] = b[i]
+	}
+	pivotCol := make([]int, 0, rows)
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		for r := rank; r < rows; r++ {
+			if !a[r][col].IsZero() {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[rank], a[pivot] = a[pivot], a[rank]
+		inv := One().Div(a[rank][col])
+		for c := col; c <= cols; c++ {
+			a[rank][c] = a[rank][c].Mul(inv)
+		}
+		for r := 0; r < rows; r++ {
+			if r == rank || a[r][col].IsZero() {
+				continue
+			}
+			factor := a[r][col]
+			for c := col; c <= cols; c++ {
+				a[r][c] = a[r][c].Sub(factor.Mul(a[rank][c]))
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	// Inconsistency: a zero row with nonzero rhs.
+	for r := rank; r < rows; r++ {
+		if !a[r][cols].IsZero() {
+			return nil, false
+		}
+	}
+	x := ZeroVec(cols)
+	for r, col := range pivotCol {
+		x[col] = a[r][cols]
+	}
+	return x, true
+}
+
+// NullspaceBasis returns a basis of the nullspace {x : m·x = 0}.
+func (m Mat) NullspaceBasis() []Vec {
+	rows, cols := m.Rows(), m.Cols()
+	a := m.Clone()
+	pivotCol := make([]int, 0, rows)
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		for r := rank; r < rows; r++ {
+			if !a[r][col].IsZero() {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[rank], a[pivot] = a[pivot], a[rank]
+		inv := One().Div(a[rank][col])
+		for c := col; c < cols; c++ {
+			a[rank][c] = a[rank][c].Mul(inv)
+		}
+		for r := 0; r < rows; r++ {
+			if r == rank || a[r][col].IsZero() {
+				continue
+			}
+			factor := a[r][col]
+			for c := col; c < cols; c++ {
+				a[r][c] = a[r][c].Sub(factor.Mul(a[rank][c]))
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	isPivot := make([]bool, cols)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	var basis []Vec
+	for free := 0; free < cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		x := ZeroVec(cols)
+		x[free] = One()
+		for r, col := range pivotCol {
+			x[col] = a[r][free].Neg()
+		}
+		basis = append(basis, x)
+	}
+	return basis
+}
+
+// ProjectOnto projects v orthogonally onto the subspace spanned by basis,
+// using exact Gram–Schmidt. An empty basis yields the zero vector.
+func ProjectOnto(v Vec, basis []Vec) Vec {
+	ortho := orthogonalize(basis)
+	out := ZeroVec(len(v))
+	for _, u := range ortho {
+		uu := u.Dot(u)
+		if uu.IsZero() {
+			continue
+		}
+		coef := v.Dot(u).Div(uu)
+		out = out.Add(u.Scale(coef))
+	}
+	return out
+}
+
+func orthogonalize(basis []Vec) []Vec {
+	var ortho []Vec
+	for _, b := range basis {
+		u := b.Clone()
+		for _, o := range ortho {
+			oo := o.Dot(o)
+			if oo.IsZero() {
+				continue
+			}
+			u = u.Sub(o.Scale(u.Dot(o).Div(oo)))
+		}
+		if !u.IsZero() {
+			ortho = append(ortho, u)
+		}
+	}
+	return ortho
+}
+
+// SpanDim returns the dimension of the span of the given vectors.
+func SpanDim(vs []Vec) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	return Mat(vs).Rank()
+}

@@ -1,0 +1,363 @@
+// Package reach implements bounded exhaustive reachability analysis for
+// discrete CRNs and the stable-computation verifier that mechanizes the
+// definition in Section 2.2 of the paper:
+//
+//	A CRN C stably computes f if for each initial configuration I_x and
+//	every configuration C reachable from I_x, a stable configuration O
+//	with O(Y) = f(x) is reachable from C.
+//
+// The verifier enumerates the reachable configuration graph, identifies the
+// stable configurations (those from which the output count can never
+// change), and checks that the backward closure of the correct stable
+// configurations covers the whole graph. Exploration is bounded; results
+// distinguish "verified", "refuted (with witness)", and "inconclusive
+// (budget exhausted)".
+package reach
+
+import (
+	"errors"
+	"fmt"
+
+	"crncompose/internal/crn"
+)
+
+// Options bound the exploration.
+type Options struct {
+	// MaxConfigs caps the number of distinct configurations explored.
+	MaxConfigs int
+	// MaxCount caps any single species count; exceeding it marks the run
+	// inconclusive (the CRN may have unbounded reachable counts).
+	MaxCount int64
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithMaxConfigs sets the configuration budget.
+func WithMaxConfigs(n int) Option { return func(o *Options) { o.MaxConfigs = n } }
+
+// WithMaxCount sets the per-species count cap.
+func WithMaxCount(n int64) Option { return func(o *Options) { o.MaxCount = n } }
+
+func buildOptions(opts []Option) Options {
+	o := Options{MaxConfigs: 1 << 18, MaxCount: 1 << 40}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// ErrBudget is reported when exploration exhausts its budget before reaching
+// a verdict.
+var ErrBudget = errors.New("reach: exploration budget exhausted")
+
+// Graph is the reachable configuration graph from a root configuration.
+type Graph struct {
+	CRN     *crn.CRN
+	Configs []crn.Config // Configs[0] is the root
+	// Succ[i] lists successor config ids of Configs[i]; Via[i][k] is the
+	// reaction index that produces Succ[i][k].
+	Succ [][]int32
+	Via  [][]int32
+	// Pred[i] lists predecessor ids (deduplicated).
+	Pred [][]int32
+	// Parent and ParentVia give one BFS tree edge for trace extraction
+	// (-1 for the root).
+	Parent    []int32
+	ParentVia []int32
+	// Complete is false if the budget was exhausted (the graph is a prefix).
+	Complete bool
+}
+
+// Explore enumerates the configurations reachable from root.
+func Explore(root crn.Config, opts ...Option) *Graph {
+	o := buildOptions(opts)
+	g := &Graph{CRN: root.CRN(), Complete: true}
+	ids := make(map[string]int32, 1024)
+
+	add := func(c crn.Config, parent, via int32) int32 {
+		key := c.Key()
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := int32(len(g.Configs))
+		ids[key] = id
+		g.Configs = append(g.Configs, c)
+		g.Succ = append(g.Succ, nil)
+		g.Via = append(g.Via, nil)
+		g.Pred = append(g.Pred, nil)
+		g.Parent = append(g.Parent, parent)
+		g.ParentVia = append(g.ParentVia, via)
+		return id
+	}
+
+	add(root.Clone(), -1, -1)
+	numReactions := len(root.CRN().Reactions)
+	for head := 0; head < len(g.Configs); head++ {
+		if len(g.Configs) > o.MaxConfigs {
+			g.Complete = false
+			break
+		}
+		cur := g.Configs[head]
+		for ri := 0; ri < numReactions; ri++ {
+			if !cur.Applicable(ri) {
+				continue
+			}
+			next := cur.Apply(ri)
+			if next.CountsRef().MaxComponent() > o.MaxCount {
+				g.Complete = false
+				continue
+			}
+			nid := add(next, int32(head), int32(ri))
+			g.Succ[head] = append(g.Succ[head], nid)
+			g.Via[head] = append(g.Via[head], int32(ri))
+		}
+	}
+	// Build predecessor lists.
+	for u := range g.Succ {
+		for _, v := range g.Succ[u] {
+			g.Pred[v] = append(g.Pred[v], int32(u))
+		}
+	}
+	return g
+}
+
+// TraceTo reconstructs a reaction trace from the root to config id using the
+// BFS tree.
+func (g *Graph) TraceTo(id int32) crn.Trace {
+	var rev []int
+	for cur := id; cur != 0; cur = g.Parent[cur] {
+		rev = append(rev, int(g.ParentVia[cur]))
+	}
+	seq := make([]int, len(rev))
+	for i := range rev {
+		seq[i] = rev[len(rev)-1-i]
+	}
+	return crn.Trace{Start: g.Configs[0], Reactions: seq}
+}
+
+// outputBounds computes, for every configuration, the minimum and maximum
+// output count over all configurations reachable from it, by fixpoint
+// propagation backward along edges.
+func (g *Graph) outputBounds() (minY, maxY []int64) {
+	n := len(g.Configs)
+	minY = make([]int64, n)
+	maxY = make([]int64, n)
+	for i, c := range g.Configs {
+		y := c.Output()
+		minY[i] = y
+		maxY[i] = y
+	}
+	// Worklist fixpoint: when a node's bounds widen, its predecessors may
+	// widen too.
+	queue := make([]int32, 0, n)
+	inQueue := make([]bool, n)
+	for i := 0; i < n; i++ {
+		queue = append(queue, int32(i))
+		inQueue[i] = true
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		for _, p := range g.Pred[u] {
+			changed := false
+			if minY[u] < minY[p] {
+				minY[p] = minY[u]
+				changed = true
+			}
+			if maxY[u] > maxY[p] {
+				maxY[p] = maxY[u]
+				changed = true
+			}
+			if changed && !inQueue[p] {
+				queue = append(queue, p)
+				inQueue[p] = true
+			}
+		}
+	}
+	return minY, maxY
+}
+
+// StableIDs returns the ids of the stable configurations in g: those whose
+// output count cannot change in any configuration reachable from them.
+// Only meaningful when g.Complete (otherwise it is an under-approximation
+// computed on the explored prefix).
+func (g *Graph) StableIDs() []int32 {
+	minY, maxY := g.outputBounds()
+	var out []int32
+	for i := range g.Configs {
+		if minY[i] == maxY[i] {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Verdict is the result of a stable-computation check for one input.
+type Verdict struct {
+	// OK reports that the property was verified.
+	OK bool
+	// Inconclusive reports the budget ran out before a verdict.
+	Inconclusive bool
+	// Err describes the refutation when OK is false and Inconclusive is
+	// false.
+	Err error
+	// Witness, when non-nil, is a trace from the initial configuration to a
+	// configuration that refutes the property (e.g. one from which no
+	// correct stable configuration is reachable, or one that overproduces
+	// output for an output-oblivious CRN).
+	Witness *crn.Trace
+	// Explored is the number of configurations visited.
+	Explored int
+}
+
+// CheckInput verifies that the CRN stably computes the value want on the
+// given initial configuration. It implements the literal Section 2.2
+// definition on the bounded reachability graph.
+func CheckInput(root crn.Config, want int64, opts ...Option) Verdict {
+	g := Explore(root, opts...)
+	if !g.Complete {
+		return Verdict{Inconclusive: true, Explored: len(g.Configs), Err: ErrBudget}
+	}
+	minY, maxY := g.outputBounds()
+	n := len(g.Configs)
+
+	// Correct stable configurations.
+	correct := make([]bool, n)
+	anyCorrect := false
+	for i, c := range g.Configs {
+		if minY[i] == maxY[i] && c.Output() == want {
+			correct[i] = true
+			anyCorrect = true
+		}
+	}
+	if !anyCorrect {
+		// Prefer an overproduction witness if one exists: a config whose
+		// output already exceeds want and can never come back down (always
+		// true for output-oblivious CRNs).
+		for i, c := range g.Configs {
+			if c.Output() > want {
+				tr := g.TraceTo(int32(i))
+				return Verdict{
+					OK:       false,
+					Err:      fmt.Errorf("reach: no correct stable configuration; output overshoots to %d (want %d)", c.Output(), want),
+					Witness:  &tr,
+					Explored: n,
+				}
+			}
+		}
+		return Verdict{
+			OK:       false,
+			Err:      fmt.Errorf("reach: no stable configuration with output %d is reachable", want),
+			Explored: n,
+		}
+	}
+
+	// Backward closure of the correct stable configurations.
+	canReach := make([]bool, n)
+	queue := make([]int32, 0, n)
+	for i := range correct {
+		if correct[i] {
+			canReach[i] = true
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, p := range g.Pred[u] {
+			if !canReach[p] {
+				canReach[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for i := range g.Configs {
+		if !canReach[i] {
+			tr := g.TraceTo(int32(i))
+			return Verdict{
+				OK: false,
+				Err: fmt.Errorf("reach: configuration %s is reachable but cannot reach a stable configuration with output %d",
+					g.Configs[i], want),
+				Witness:  &tr,
+				Explored: n,
+			}
+		}
+	}
+	return Verdict{OK: true, Explored: n}
+}
+
+// Func is an integer-valued function f : N^d -> N given as an evaluator.
+type Func func(x []int64) int64
+
+// CheckGrid verifies stable computation of f on every input lo ≤ x ≤ hi.
+// It returns the first failing verdict together with the offending input,
+// or an all-OK summary.
+func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, error) {
+	if len(lo) != c.Dim() || len(hi) != c.Dim() {
+		return GridResult{}, fmt.Errorf("reach: grid arity %d/%d does not match CRN arity %d", len(lo), len(hi), c.Dim())
+	}
+	res := GridResult{}
+	x := append([]int64(nil), lo...)
+	for {
+		root, err := c.InitialConfig(x)
+		if err != nil {
+			return res, err
+		}
+		want := f(x)
+		if want < 0 {
+			return res, fmt.Errorf("reach: f%v = %d is negative", x, want)
+		}
+		v := CheckInput(root, want, opts...)
+		res.Checked++
+		res.Explored += v.Explored
+		if v.Inconclusive {
+			res.Inconclusive++
+		} else if !v.OK {
+			xc := append([]int64(nil), x...)
+			res.Failure = &GridFailure{Input: xc, Want: want, Verdict: v}
+			return res, nil
+		}
+		// Advance odometer.
+		i := len(x) - 1
+		for i >= 0 {
+			x[i]++
+			if x[i] <= hi[i] {
+				break
+			}
+			x[i] = lo[i]
+			i--
+		}
+		if i < 0 {
+			return res, nil
+		}
+	}
+}
+
+// GridResult summarizes a CheckGrid run.
+type GridResult struct {
+	Checked      int
+	Inconclusive int
+	Explored     int
+	Failure      *GridFailure
+}
+
+// GridFailure records the first refuted input.
+type GridFailure struct {
+	Input   []int64
+	Want    int64
+	Verdict Verdict
+}
+
+// OK reports whether every input verified (no failures; inconclusive inputs
+// are tolerated and counted separately).
+func (r GridResult) OK() bool { return r.Failure == nil }
+
+// String summarizes the result.
+func (r GridResult) String() string {
+	if r.Failure != nil {
+		return fmt.Sprintf("FAIL at x=%v (want %d): %v", r.Failure.Input, r.Failure.Want, r.Failure.Verdict.Err)
+	}
+	return fmt.Sprintf("ok: %d inputs verified (%d inconclusive, %d configs explored)", r.Checked, r.Inconclusive, r.Explored)
+}

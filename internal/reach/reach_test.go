@@ -1,0 +1,191 @@
+package reach
+
+import (
+	"strings"
+	"testing"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/vec"
+)
+
+func minCRN() *crn.CRN {
+	return crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+}
+
+func maxCRN() *crn.CRN {
+	return crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Z2"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Z2"}}, Products: []crn.Term{{Coeff: 1, Sp: "K"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "K"}, {Coeff: 1, Sp: "Y"}}, Products: nil},
+	})
+}
+
+func TestExploreCounts(t *testing.T) {
+	// min from (2,2): configurations are determined by how many reactions
+	// fired: 3 configs.
+	g := Explore(minCRN().MustInitialConfig(vec.New(2, 2)))
+	if !g.Complete {
+		t.Fatal("exploration incomplete")
+	}
+	if len(g.Configs) != 3 {
+		t.Errorf("explored %d configs, want 3", len(g.Configs))
+	}
+}
+
+func TestTraceReconstruction(t *testing.T) {
+	g := Explore(maxCRN().MustInitialConfig(vec.New(2, 1)))
+	for id := range g.Configs {
+		tr := g.TraceTo(int32(id))
+		final, err := tr.Replay()
+		if err != nil {
+			t.Fatalf("trace to %d: %v", id, err)
+		}
+		if final.Key() != g.Configs[id].Key() {
+			t.Fatalf("trace to %d lands on %s, want %s", id, final, g.Configs[id])
+		}
+	}
+}
+
+func TestStableIDs(t *testing.T) {
+	// For min from (1,2): firing gives {Y, X2}: terminal, stable with y=1.
+	// The initial config can still fire, so it is not stable.
+	g := Explore(minCRN().MustInitialConfig(vec.New(1, 2)))
+	stable := g.StableIDs()
+	if len(stable) != 1 {
+		t.Fatalf("stable ids = %v", stable)
+	}
+	if g.Configs[stable[0]].Output() != 1 {
+		t.Errorf("stable output = %d", g.Configs[stable[0]].Output())
+	}
+}
+
+func TestCheckInputVerifiesMax(t *testing.T) {
+	// The max CRN stably computes max despite transient overshoot.
+	v := CheckInput(maxCRN().MustInitialConfig(vec.New(2, 3)), 3)
+	if !v.OK {
+		t.Fatalf("max CRN refuted: %v", v.Err)
+	}
+}
+
+func TestCheckInputCatchesWrongValue(t *testing.T) {
+	v := CheckInput(maxCRN().MustInitialConfig(vec.New(2, 3)), 4)
+	if v.OK {
+		t.Fatal("wrong expected value accepted")
+	}
+}
+
+func TestCheckInputCatchesOverproduction(t *testing.T) {
+	// A broken "min" that fires per-input: X1 → Y (wrong).
+	broken := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	v := CheckInput(broken.MustInitialConfig(vec.New(3, 0)), 0)
+	if v.OK {
+		t.Fatal("overproducing CRN accepted")
+	}
+	if v.Witness == nil {
+		t.Fatal("no witness trace")
+	}
+	final, err := v.Witness.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Output() <= 0 {
+		t.Error("witness does not overshoot")
+	}
+}
+
+func TestCheckInputCatchesDeadlock(t *testing.T) {
+	// A CRN that can consume its inputs without producing output:
+	// X1 + X2 → Y competes with X1 + X2 → K (dead end).
+	racy := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "K"}}},
+	})
+	v := CheckInput(racy.MustInitialConfig(vec.New(1, 1)), 1)
+	if v.OK {
+		t.Fatal("racy CRN accepted")
+	}
+	if v.Witness == nil || !strings.Contains(v.Err.Error(), "cannot reach") {
+		t.Fatalf("unexpected refutation: %v", v.Err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// X → 2X grows without bound: exploration must stop and report
+	// inconclusive rather than hanging.
+	grower := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 2, Sp: "X"}}},
+	})
+	v := CheckInput(grower.MustInitialConfig(vec.New(1)), 0, WithMaxConfigs(100))
+	if !v.Inconclusive {
+		t.Fatalf("expected inconclusive, got %+v", v)
+	}
+	// With a count cap instead.
+	v = CheckInput(grower.MustInitialConfig(vec.New(1)), 0, WithMaxCount(50))
+	if !v.Inconclusive {
+		t.Fatalf("expected inconclusive under count cap, got %+v", v)
+	}
+}
+
+func TestCheckGrid(t *testing.T) {
+	res, err := CheckGrid(minCRN(), func(x []int64) int64 { return min(x[0], x[1]) },
+		[]int64{0, 0}, []int64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Checked != 25 {
+		t.Fatalf("grid: %v", res)
+	}
+	// Wrong function: failure recorded with input.
+	res, err = CheckGrid(minCRN(), func(x []int64) int64 { return x[0] },
+		[]int64{0, 0}, []int64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("wrong function accepted")
+	}
+	if res.Failure.Input[0] == res.Failure.Input[1] {
+		t.Errorf("failure should be off-diagonal, got %v", res.Failure.Input)
+	}
+}
+
+func TestCheckGridArityMismatch(t *testing.T) {
+	if _, err := CheckGrid(minCRN(), func(x []int64) int64 { return 0 }, []int64{0}, []int64{1}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestVerdictOnLeaderedCRN(t *testing.T) {
+	// L + X → Y computes min(1, x).
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "L", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "L"}, {Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	res, err := CheckGrid(c, func(x []int64) int64 { return min(1, x[0]) }, []int64{0}, []int64{10})
+	if err != nil || !res.OK() {
+		t.Fatalf("%v %v", err, res)
+	}
+}
+
+func TestGraphPredecessorsConsistent(t *testing.T) {
+	g := Explore(maxCRN().MustInitialConfig(vec.New(1, 2)))
+	// Every successor edge must appear as a predecessor edge.
+	for u := range g.Succ {
+		for _, v := range g.Succ[u] {
+			found := false
+			for _, p := range g.Pred[v] {
+				if int(p) == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d→%d missing from Pred", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package semilinear implements semilinear sets and semilinear functions as
+// defined in Section 2.4 of the paper (Definitions 2.5 and 2.6):
+//
+//   - a semilinear set is a finite Boolean combination of threshold sets
+//     {x ∈ N^d : a·x ≥ b} and mod sets {x ∈ N^d : a·x ≡ b (mod c)};
+//   - a semilinear function is a finite union of affine partial functions
+//     whose domains are disjoint semilinear sets.
+//
+// This explicit representation is the input to the classifier
+// (internal/classify), which decides oblivious computability per
+// Theorem 5.2, and it supports the fixed-input restriction f[x(i)→j] needed
+// by the recursive condition (iii).
+package semilinear
+
+import (
+	"fmt"
+	"strings"
+
+	"crncompose/internal/rat"
+	"crncompose/internal/vec"
+)
+
+// Formula is a Boolean combination of threshold and mod predicates over N^d.
+type Formula interface {
+	// Contains reports x ∈ S.
+	Contains(x vec.V) bool
+	// Dim returns the arity d.
+	Dim() int
+	// String renders the predicate.
+	String() string
+}
+
+// Threshold is the set {x : A·x ≥ B} with A ∈ Z^d, B ∈ Z.
+type Threshold struct {
+	A vec.V
+	B int64
+}
+
+// Contains implements Formula.
+func (t Threshold) Contains(x vec.V) bool { return t.A.Dot(x) >= t.B }
+
+// Dim implements Formula.
+func (t Threshold) Dim() int { return len(t.A) }
+
+func (t Threshold) String() string { return fmt.Sprintf("%v·x ≥ %d", t.A, t.B) }
+
+// Mod is the set {x : A·x ≡ B (mod C)} with C ≥ 1.
+type Mod struct {
+	A vec.V
+	B int64
+	C int64
+}
+
+// Contains implements Formula.
+func (m Mod) Contains(x vec.V) bool {
+	r := (m.A.Dot(x) - m.B) % m.C
+	return r == 0 || r == m.C || r == -m.C || ((r%m.C)+m.C)%m.C == 0
+}
+
+// Dim implements Formula.
+func (m Mod) Dim() int { return len(m.A) }
+
+func (m Mod) String() string { return fmt.Sprintf("%v·x ≡ %d (mod %d)", m.A, m.B, m.C) }
+
+// And is the intersection of its operands.
+type And struct{ Ops []Formula }
+
+// Contains implements Formula.
+func (a And) Contains(x vec.V) bool {
+	for _, op := range a.Ops {
+		if !op.Contains(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Dim implements Formula.
+func (a And) Dim() int {
+	if len(a.Ops) == 0 {
+		return 0
+	}
+	return a.Ops[0].Dim()
+}
+
+func (a And) String() string { return joinOps(a.Ops, " ∧ ") }
+
+// Or is the union of its operands.
+type Or struct{ Ops []Formula }
+
+// Contains implements Formula.
+func (o Or) Contains(x vec.V) bool {
+	for _, op := range o.Ops {
+		if op.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dim implements Formula.
+func (o Or) Dim() int {
+	if len(o.Ops) == 0 {
+		return 0
+	}
+	return o.Ops[0].Dim()
+}
+
+func (o Or) String() string { return joinOps(o.Ops, " ∨ ") }
+
+// Not is the complement of its operand.
+type Not struct{ Op Formula }
+
+// Contains implements Formula.
+func (n Not) Contains(x vec.V) bool { return !n.Op.Contains(x) }
+
+// Dim implements Formula.
+func (n Not) Dim() int { return n.Op.Dim() }
+
+func (n Not) String() string { return "¬(" + n.Op.String() + ")" }
+
+// True is all of N^d.
+type True struct{ D int }
+
+// Contains implements Formula.
+func (t True) Contains(vec.V) bool { return true }
+
+// Dim implements Formula.
+func (t True) Dim() int { return t.D }
+
+func (t True) String() string { return "⊤" }
+
+func joinOps(ops []Formula, sep string) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = "(" + op.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// CollectAtoms walks the formula and appends every threshold and mod atom.
+func CollectAtoms(f Formula, ts *[]Threshold, ms *[]Mod) {
+	switch v := f.(type) {
+	case Threshold:
+		*ts = append(*ts, v)
+	case Mod:
+		*ms = append(*ms, v)
+	case And:
+		for _, op := range v.Ops {
+			CollectAtoms(op, ts, ms)
+		}
+	case Or:
+		for _, op := range v.Ops {
+			CollectAtoms(op, ts, ms)
+		}
+	case Not:
+		CollectAtoms(v.Op, ts, ms)
+	case True:
+	default:
+		panic(fmt.Sprintf("semilinear: unknown formula node %T", f))
+	}
+}
+
+// Substitute fixes component i of the input to the constant j, returning the
+// induced formula over N^(d-1). Threshold a·x ≥ b becomes a'·x' ≥ b − a_i·j
+// and similarly for mod atoms.
+func Substitute(f Formula, i int, j int64) Formula {
+	switch v := f.(type) {
+	case Threshold:
+		return Threshold{A: v.A.Drop(i), B: v.B - v.A[i]*j}
+	case Mod:
+		return Mod{A: v.A.Drop(i), B: ((v.B-v.A[i]*j)%v.C + v.C) % v.C, C: v.C}
+	case And:
+		ops := make([]Formula, len(v.Ops))
+		for k, op := range v.Ops {
+			ops[k] = Substitute(op, i, j)
+		}
+		return And{Ops: ops}
+	case Or:
+		ops := make([]Formula, len(v.Ops))
+		for k, op := range v.Ops {
+			ops[k] = Substitute(op, i, j)
+		}
+		return Or{Ops: ops}
+	case Not:
+		return Not{Op: Substitute(v.Op, i, j)}
+	case True:
+		return True{D: v.D - 1}
+	default:
+		panic(fmt.Sprintf("semilinear: unknown formula node %T", f))
+	}
+}
+
+// Piece is an affine partial function grad·x + off on the semilinear Domain.
+type Piece struct {
+	Domain Formula
+	Grad   rat.Vec
+	Off    rat.R
+}
+
+// EvalPiece returns the affine value at x (whether or not x ∈ Domain).
+func (p Piece) EvalPiece(x vec.V) rat.R { return p.Grad.DotInt(x).Add(p.Off) }
+
+// Func is a semilinear function in the Definition 2.6 normal form: affine
+// partial functions on pairwise-disjoint semilinear domains covering N^d.
+type Func struct {
+	D      int
+	Pieces []Piece
+	// Name is an optional human-readable label.
+	Name string
+}
+
+// New validates arities and returns the function. Disjointness and totality
+// of the domains are the caller's responsibility in general (they are
+// verified on bounded grids by ValidateOn).
+func New(d int, name string, pieces ...Piece) (*Func, error) {
+	if len(pieces) == 0 {
+		return nil, fmt.Errorf("semilinear: no pieces")
+	}
+	for k, p := range pieces {
+		if p.Domain.Dim() != d && p.Domain.Dim() != 0 {
+			return nil, fmt.Errorf("semilinear: piece %d domain arity %d ≠ %d", k, p.Domain.Dim(), d)
+		}
+		if len(p.Grad) != d {
+			return nil, fmt.Errorf("semilinear: piece %d gradient arity %d ≠ %d", k, len(p.Grad), d)
+		}
+	}
+	return &Func{D: d, Pieces: append([]Piece(nil), pieces...), Name: name}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(d int, name string, pieces ...Piece) *Func {
+	f, err := New(d, name, pieces...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Dim returns the arity.
+func (f *Func) Dim() int { return f.D }
+
+// Eval evaluates f at x. It panics if no piece's domain contains x or the
+// value is not a nonnegative integer (the representation is for
+// f : N^d → N).
+func (f *Func) Eval(x vec.V) int64 {
+	for _, p := range f.Pieces {
+		if p.Domain.Contains(x) {
+			v := p.EvalPiece(x)
+			if !v.IsInt() {
+				panic(fmt.Sprintf("semilinear: %s(%v) = %s is not an integer", f.Name, x, v))
+			}
+			return v.Int()
+		}
+	}
+	panic(fmt.Sprintf("semilinear: %s has no piece containing %v", f.Name, x))
+}
+
+// PieceAt returns the index of the first piece whose domain contains x,
+// or -1.
+func (f *Func) PieceAt(x vec.V) int {
+	for k, p := range f.Pieces {
+		if p.Domain.Contains(x) {
+			return k
+		}
+	}
+	return -1
+}
+
+// ValidateOn checks, over the grid lo ≤ x ≤ hi, that exactly one piece
+// domain contains every point and that all values are nonnegative integers.
+func (f *Func) ValidateOn(lo, hi vec.V) error {
+	var fail error
+	vec.Grid(lo, hi, func(x vec.V) bool {
+		count := 0
+		for _, p := range f.Pieces {
+			if p.Domain.Contains(x) {
+				count++
+			}
+		}
+		if count != 1 {
+			fail = fmt.Errorf("semilinear: %s has %d pieces containing %v (want exactly 1)", f.Name, count, x)
+			return false
+		}
+		v := f.Pieces[f.PieceAt(x)].EvalPiece(x)
+		if !v.IsInt() || v.Sign() < 0 {
+			fail = fmt.Errorf("semilinear: %s(%v) = %s is not in N", f.Name, x, v)
+			return false
+		}
+		return true
+	})
+	return fail
+}
+
+// IsNondecreasingOn checks monotonicity over the grid by comparing each
+// point against its successors along every axis (sufficient on a grid).
+func (f *Func) IsNondecreasingOn(lo, hi vec.V) (bool, vec.V, vec.V) {
+	var badA, badB vec.V
+	ok := true
+	vec.Grid(lo, hi, func(x vec.V) bool {
+		fx := f.Eval(x)
+		for i := 0; i < f.D; i++ {
+			if x[i]+1 > hi[i] {
+				continue
+			}
+			y := x.Add(vec.Unit(f.D, i))
+			if f.Eval(y) < fx {
+				ok = false
+				badA, badB = x.Clone(), y
+				return false
+			}
+		}
+		return true
+	})
+	return ok, badA, badB
+}
+
+// Restrict returns the fixed-input restriction f[x(i)→j] as a semilinear
+// function over N^(d-1) (the paper keeps the arity at d for notational
+// convenience; dropping the dead input is the natural implementation and
+// corresponds to its footnote 11).
+func (f *Func) Restrict(i int, j int64) *Func {
+	pieces := make([]Piece, len(f.Pieces))
+	for k, p := range f.Pieces {
+		pieces[k] = Piece{
+			Domain: Substitute(p.Domain, i, j),
+			Grad:   dropRat(p.Grad, i),
+			Off:    p.Off.Add(p.Grad[i].MulInt(j)),
+		}
+	}
+	return MustNew(f.D-1, fmt.Sprintf("%s[x(%d)→%d]", f.Name, i+1, j), pieces...)
+}
+
+func dropRat(v rat.Vec, i int) rat.Vec {
+	out := make(rat.Vec, 0, len(v)-1)
+	out = append(out, v[:i]...)
+	out = append(out, v[i+1:]...)
+	return out
+}
+
+// Atoms returns all threshold and mod atoms appearing in any piece domain.
+func (f *Func) Atoms() ([]Threshold, []Mod) {
+	var ts []Threshold
+	var ms []Mod
+	for _, p := range f.Pieces {
+		CollectAtoms(p.Domain, &ts, &ms)
+	}
+	return ts, ms
+}
+
+// GlobalPeriod returns the lcm of all mod-set moduli (1 if there are none),
+// the global period p of Lemma 7.3.
+func (f *Func) GlobalPeriod() int64 {
+	_, ms := f.Atoms()
+	p := int64(1)
+	for _, m := range ms {
+		p = rat.LCM(p, m.C)
+	}
+	return p
+}
+
+// String renders the function as its list of pieces.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s : N^%d → N\n", f.Name, f.D)
+	for _, p := range f.Pieces {
+		fmt.Fprintf(&sb, "  %s·x + %s  on  %s\n", p.Grad, p.Off, p.Domain)
+	}
+	return sb.String()
+}

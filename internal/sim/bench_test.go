@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"crncompose/internal/vec"
+)
+
+// Simulator throughput: reactions fired per second for the two schedulers
+// on the Fig 1 max CRN (4 reactions, transient overshoot).
+
+func BenchmarkGillespieThroughput(b *testing.B) {
+	for _, n := range []int64{1_000, 10_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			start := maxCRN().MustInitialConfig(vec.New(n, n))
+			b.ResetTimer()
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				r := Gillespie(start, WithSeed(uint64(i)))
+				steps += r.Steps
+			}
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "reactions/s")
+		})
+	}
+}
+
+func BenchmarkFairRandomThroughput(b *testing.B) {
+	for _, n := range []int64{1_000, 10_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			start := maxCRN().MustInitialConfig(vec.New(n, n))
+			b.ResetTimer()
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				r := FairRandom(start, WithSeed(uint64(i)))
+				steps += r.Steps
+			}
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "reactions/s")
+		})
+	}
+}
+
+func BenchmarkEnsembleParallelScaling(b *testing.B) {
+	start := maxCRN().MustInitialConfig(vec.New(2_000, 2_000))
+	for _, trials := range []int{1, 8} {
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Ensemble(FairRandom, start, trials, uint64(i))
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"crncompose/internal/crn"
+)
+
+// Runner is any single-trial simulation function (Gillespie, FairRandom, or
+// a RunScheduled closure).
+type Runner func(start crn.Config, opts ...Option) Result
+
+// Ensemble runs trials independent simulations of start in parallel,
+// seeding trial i with baseSeed+i, and returns all results in trial order.
+func Ensemble(run Runner, start crn.Config, trials int, baseSeed uint64, opts ...Option) []Result {
+	results := make([]Result, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, trials)
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				trialOpts := append(append([]Option(nil), opts...), WithSeed(baseSeed+uint64(i)))
+				results[i] = run(start, trialOpts...)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Stats summarizes an ensemble's final output counts.
+type Stats struct {
+	Trials      int
+	Converged   int
+	MeanOutput  float64
+	MinOutput   int64
+	MaxOutput   int64
+	MeanSteps   float64
+	MedianSteps int64
+	// AllEqual is true when every converged trial produced the same output.
+	AllEqual bool
+}
+
+// Summarize computes ensemble statistics over results.
+func Summarize(results []Result) Stats {
+	s := Stats{Trials: len(results), AllEqual: true}
+	if len(results) == 0 {
+		return s
+	}
+	var sumY, sumSteps float64
+	steps := make([]int64, 0, len(results))
+	first := true
+	var firstY int64
+	for _, r := range results {
+		y := r.Final.Output()
+		if first {
+			s.MinOutput, s.MaxOutput, firstY = y, y, y
+			first = false
+		}
+		if y < s.MinOutput {
+			s.MinOutput = y
+		}
+		if y > s.MaxOutput {
+			s.MaxOutput = y
+		}
+		if y != firstY {
+			s.AllEqual = false
+		}
+		if r.Converged {
+			s.Converged++
+		}
+		sumY += float64(y)
+		sumSteps += float64(r.Steps)
+		steps = append(steps, r.Steps)
+	}
+	s.MeanOutput = sumY / float64(len(results))
+	s.MeanSteps = sumSteps / float64(len(results))
+	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	s.MedianSteps = steps[len(steps)/2]
+	return s
+}

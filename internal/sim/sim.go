@@ -1,0 +1,244 @@
+// Package sim provides stochastic simulation of discrete CRNs:
+//
+//   - an exact Gillespie stochastic simulation algorithm (direct method)
+//     with combinatorial propensities for reactions of arbitrary order,
+//   - a fair uniform-random scheduler that realizes the probability-1
+//     convergence semantics of stable computation (footnote 2 of the paper),
+//   - adversarial schedulers used to demonstrate output overshoot in
+//     non-output-oblivious compositions (Section 1.2),
+//   - a parallel ensemble runner with per-trial deterministic seeding.
+//
+// All randomness flows through seeded PCG generators so every run is
+// reproducible.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"crncompose/internal/crn"
+)
+
+// Result is the outcome of one simulated trial.
+type Result struct {
+	// Final is the configuration when simulation stopped.
+	Final crn.Config
+	// Steps is the number of reactions fired.
+	Steps int64
+	// Time is the simulated (Gillespie) time; zero for discrete schedulers.
+	Time float64
+	// Converged reports that no reaction was applicable (terminal), or that
+	// the silence criterion was met.
+	Converged bool
+}
+
+// Options configure a simulation run.
+type Options struct {
+	// MaxSteps bounds the number of reactions fired (default 50M).
+	MaxSteps int64
+	// Seed seeds the PCG generator.
+	Seed uint64
+	// SilentSteps: for CRNs that never become terminal (e.g. catalytic
+	// loops), stop once the output count has been unchanged for this many
+	// consecutive steps AND every applicable reaction is output-neutral.
+	// Zero disables the criterion.
+	SilentSteps int64
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithMaxSteps bounds the number of reaction firings.
+func WithMaxSteps(n int64) Option { return func(o *Options) { o.MaxSteps = n } }
+
+// WithSeed sets the RNG seed.
+func WithSeed(s uint64) Option { return func(o *Options) { o.Seed = s } }
+
+// WithSilentSteps sets the silence-based convergence criterion.
+func WithSilentSteps(n int64) Option { return func(o *Options) { o.SilentSteps = n } }
+
+func buildOptions(opts []Option) Options {
+	o := Options{MaxSteps: 50_000_000, Seed: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Gillespie runs the exact stochastic simulation algorithm (direct method)
+// from the given configuration until no reaction is applicable, the silence
+// criterion fires, or the step budget is exhausted. All rate constants are
+// taken as 1; propensities are the combinatorial counts
+// Π_species C(S) choose coeff × coeff!  (i.e. falling factorials), the
+// standard mass-action form for discrete CRNs.
+func Gillespie(start crn.Config, opts ...Option) Result {
+	o := buildOptions(opts)
+	rng := rand.New(rand.NewPCG(o.Seed, 0x9E3779B97F4A7C15))
+	cur := start.Clone()
+	c := cur.CRN()
+	nR := len(c.Reactions)
+	props := make([]float64, nR)
+
+	var steps int64
+	var t float64
+	var silent int64
+	lastY := cur.Output()
+
+	for steps < o.MaxSteps {
+		total := 0.0
+		for ri := 0; ri < nR; ri++ {
+			props[ri] = propensity(cur, ri)
+			total += props[ri]
+		}
+		if total == 0 {
+			return Result{Final: cur, Steps: steps, Time: t, Converged: true}
+		}
+		// Exponential waiting time with rate = total propensity.
+		t += rand.ExpFloat64() / total * 1 // rand/v2 global is fine for time only
+		// Select reaction proportionally.
+		u := rng.Float64() * total
+		ri := 0
+		for ; ri < nR-1; ri++ {
+			u -= props[ri]
+			if u < 0 {
+				break
+			}
+		}
+		cur.ApplyInPlace(ri)
+		steps++
+		if y := cur.Output(); y != lastY {
+			lastY = y
+			silent = 0
+		} else {
+			silent++
+		}
+		if o.SilentSteps > 0 && silent >= o.SilentSteps {
+			return Result{Final: cur, Steps: steps, Time: t, Converged: true}
+		}
+	}
+	return Result{Final: cur, Steps: steps, Time: t, Converged: false}
+}
+
+// propensity returns the mass-action combinatorial count for reaction ri in
+// cur: the number of distinct reactant multisets available.
+func propensity(cur crn.Config, ri int) float64 {
+	c := cur.CRN()
+	p := 1.0
+	for _, term := range c.Reactions[ri].Reactants {
+		n := cur.Count(term.Sp)
+		if n < term.Coeff {
+			return 0
+		}
+		// n * (n-1) * ... * (n-k+1) / k!
+		for j := int64(0); j < term.Coeff; j++ {
+			p *= float64(n - j)
+		}
+		for j := int64(2); j <= term.Coeff; j++ {
+			p /= float64(j)
+		}
+	}
+	if math.IsInf(p, 0) || math.IsNaN(p) {
+		return math.MaxFloat64 / 2
+	}
+	return p
+}
+
+// FairRandom runs a uniform-random applicable-reaction scheduler: at each
+// step one applicable reaction is chosen uniformly at random. Under this
+// scheduler every infinitely-often-reachable configuration is reached with
+// probability 1, so for stably-computing CRNs the final output is f(x) with
+// probability 1. This is cheaper than Gillespie and preserves the
+// reachability semantics (which are rate-independent).
+func FairRandom(start crn.Config, opts ...Option) Result {
+	o := buildOptions(opts)
+	rng := rand.New(rand.NewPCG(o.Seed, 0xDA942042E4DD58B5))
+	cur := start.Clone()
+	var applicable []int
+	var steps int64
+	var silent int64
+	lastY := cur.Output()
+
+	for steps < o.MaxSteps {
+		applicable = cur.ApplicableReactions(applicable)
+		if len(applicable) == 0 {
+			return Result{Final: cur, Steps: steps, Converged: true}
+		}
+		ri := applicable[rng.IntN(len(applicable))]
+		cur.ApplyInPlace(ri)
+		steps++
+		if y := cur.Output(); y != lastY {
+			lastY = y
+			silent = 0
+		} else {
+			silent++
+		}
+		if o.SilentSteps > 0 && silent >= o.SilentSteps {
+			return Result{Final: cur, Steps: steps, Converged: true}
+		}
+	}
+	return Result{Final: cur, Steps: steps, Converged: false}
+}
+
+// Scheduler selects the next reaction to fire among the applicable ones.
+// Returning -1 stops the run. Used to build adversarial schedules.
+type Scheduler func(cur crn.Config, applicable []int, step int64) int
+
+// RunScheduled drives a simulation with a custom scheduler.
+func RunScheduled(start crn.Config, sched Scheduler, opts ...Option) Result {
+	o := buildOptions(opts)
+	cur := start.Clone()
+	var applicable []int
+	var steps int64
+	for steps < o.MaxSteps {
+		applicable = cur.ApplicableReactions(applicable)
+		if len(applicable) == 0 {
+			return Result{Final: cur, Steps: steps, Converged: true}
+		}
+		ri := sched(cur, applicable, steps)
+		if ri < 0 {
+			return Result{Final: cur, Steps: steps, Converged: false}
+		}
+		found := false
+		for _, a := range applicable {
+			if a == ri {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sim: scheduler chose inapplicable reaction %d", ri))
+		}
+		cur.ApplyInPlace(ri)
+		steps++
+	}
+	return Result{Final: cur, Steps: steps, Converged: false}
+}
+
+// PreferScheduler returns a Scheduler that always fires the applicable
+// reaction whose index appears earliest in priority; reactions not listed
+// are considered last in index order. Used to realize adversarial reaction
+// orders such as the max-CRN overshoot of Section 1.2.
+func PreferScheduler(priority []int) Scheduler {
+	rank := make(map[int]int, len(priority))
+	for i, ri := range priority {
+		rank[ri] = i
+	}
+	return func(_ crn.Config, applicable []int, _ int64) int {
+		best := applicable[0]
+		bestRank := rankOf(rank, best)
+		for _, ri := range applicable[1:] {
+			if r := rankOf(rank, ri); r < bestRank {
+				best, bestRank = ri, r
+			}
+		}
+		return best
+	}
+}
+
+func rankOf(rank map[int]int, ri int) int {
+	if r, ok := rank[ri]; ok {
+		return r
+	}
+	return 1 << 30 // after all prioritized reactions
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/vec"
+)
+
+func minCRN() *crn.CRN {
+	return crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+}
+
+func maxCRN() *crn.CRN {
+	return crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Z2"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Z2"}}, Products: []crn.Term{{Coeff: 1, Sp: "K"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "K"}, {Coeff: 1, Sp: "Y"}}, Products: nil},
+	})
+}
+
+func TestGillespieMin(t *testing.T) {
+	start := minCRN().MustInitialConfig(vec.New(500, 300))
+	r := Gillespie(start, WithSeed(7))
+	if !r.Converged {
+		t.Fatal("did not converge")
+	}
+	if got := r.Final.Output(); got != 300 {
+		t.Errorf("min(500,300) = %d", got)
+	}
+	if r.Time <= 0 {
+		t.Error("Gillespie time not advanced")
+	}
+}
+
+func TestGillespieMaxConverges(t *testing.T) {
+	start := maxCRN().MustInitialConfig(vec.New(40, 25))
+	r := Gillespie(start, WithSeed(3))
+	if !r.Converged {
+		t.Fatal("did not converge")
+	}
+	if got := r.Final.Output(); got != 40 {
+		t.Errorf("max(40,25) = %d", got)
+	}
+}
+
+func TestFairRandomMatchesGillespieSemantics(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		r := FairRandom(maxCRN().MustInitialConfig(vec.New(12, 30)), WithSeed(seed))
+		if !r.Converged || r.Final.Output() != 30 {
+			t.Fatalf("seed %d: converged=%v output=%d", seed, r.Converged, r.Final.Output())
+		}
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	start := maxCRN().MustInitialConfig(vec.New(20, 20))
+	a := FairRandom(start, WithSeed(42))
+	b := FairRandom(start, WithSeed(42))
+	if a.Steps != b.Steps || a.Final.Key() != b.Final.Key() {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestMaxStepsBudget(t *testing.T) {
+	// X → X + Y never terminates; the budget must stop it.
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "X"}, {Coeff: 1, Sp: "Y"}}},
+	})
+	r := FairRandom(c.MustInitialConfig(vec.New(1)), WithMaxSteps(100))
+	if r.Converged || r.Steps != 100 {
+		t.Fatalf("budget not honored: %+v", r)
+	}
+}
+
+func TestSilentStepsCriterion(t *testing.T) {
+	// X → X (output-neutral loop): with SilentSteps the run converges.
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "X"}}},
+		{Reactants: []crn.Term{{Coeff: 2, Sp: "X"}}, Products: []crn.Term{{Coeff: 2, Sp: "X"}, {Coeff: 1, Sp: "Y"}}},
+	})
+	r := FairRandom(c.MustInitialConfig(vec.New(1)), WithSilentSteps(50), WithMaxSteps(10000))
+	if !r.Converged {
+		t.Fatal("silence criterion did not trigger")
+	}
+}
+
+func TestPropensityCombinatorics(t *testing.T) {
+	// 2X → Y has propensity C(n,2); verify indirectly: with n=1 the
+	// reaction cannot fire, with n=2 it can.
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 2, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	if p := propensity(c.MustInitialConfig(vec.New(1)), 0); p != 0 {
+		t.Errorf("propensity with 1 copy = %v", p)
+	}
+	if p := propensity(c.MustInitialConfig(vec.New(4)), 0); p != 6 {
+		t.Errorf("propensity with 4 copies = %v, want C(4,2)=6", p)
+	}
+	if p := propensity(c.MustInitialConfig(vec.New(3)), 0); p != 3 {
+		t.Errorf("propensity with 3 copies = %v, want 3", p)
+	}
+}
+
+func TestRunScheduledAdversarial(t *testing.T) {
+	// Adversarial schedule for max: exhaust inputs through reactions 0,1
+	// first; the overshoot is then corrected by reactions 2,3 — max still
+	// stably computes. The scheduler witnesses the transient overshoot.
+	c := maxCRN()
+	var peak int64
+	sched := PreferScheduler([]int{0, 1, 2, 3})
+	r := RunScheduled(c.MustInitialConfig(vec.New(5, 5)), func(cur crn.Config, app []int, step int64) int {
+		if y := cur.Output(); y > peak {
+			peak = y
+		}
+		return sched(cur, app, step)
+	})
+	if !r.Converged {
+		t.Fatal("did not converge")
+	}
+	if peak != 10 {
+		t.Errorf("peak output %d, want 10 (full overshoot x1+x2)", peak)
+	}
+	if r.Final.Output() != 5 {
+		t.Errorf("final output %d, want 5", r.Final.Output())
+	}
+}
+
+func TestEnsembleParallel(t *testing.T) {
+	start := maxCRN().MustInitialConfig(vec.New(15, 9))
+	results := Ensemble(FairRandom, start, 32, 100)
+	if len(results) != 32 {
+		t.Fatalf("got %d results", len(results))
+	}
+	st := Summarize(results)
+	if st.Converged != 32 || !st.AllEqual || st.MinOutput != 15 || st.MaxOutput != 15 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MeanSteps <= 0 || st.MedianSteps <= 0 {
+		t.Error("step statistics missing")
+	}
+}
+
+func TestEnsembleDeterministicAcrossRuns(t *testing.T) {
+	start := maxCRN().MustInitialConfig(vec.New(8, 8))
+	a := Summarize(Ensemble(FairRandom, start, 8, 999))
+	b := Summarize(Ensemble(FairRandom, start, 8, 999))
+	if a.MeanSteps != b.MeanSteps {
+		t.Error("ensemble not reproducible with same base seed")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.Trials != 0 {
+		t.Error("empty summary wrong")
+	}
+}

@@ -1,0 +1,178 @@
+package synth
+
+import (
+	"fmt"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/quilt"
+)
+
+// OneDimSpec is the eventually-quilt-affine structure of a 1D semilinear
+// nondecreasing function (Fig 5): values f(0..n), then periodic finite
+// differences δ_0..δ_{p−1}, so that f(x+1) − f(x) = δ_{x mod p} for x ≥ n.
+type OneDimSpec struct {
+	F      quilt.Eval1D
+	N      int64
+	P      int64
+	Deltas []int64
+}
+
+// FitOneDim discovers the OneDimSpec of f by sampling (see
+// quilt.FitEventually1D). maxN/maxP bound the search; generous defaults are
+// applied when zero.
+func FitOneDim(f quilt.Eval1D, maxN, maxP int64) (*OneDimSpec, error) {
+	if maxN == 0 {
+		maxN = 64
+	}
+	if maxP == 0 {
+		maxP = 12
+	}
+	n, p, deltas, err := quilt.FitEventually1D(f, maxN, maxP, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &OneDimSpec{F: f, N: n, P: p, Deltas: deltas}, nil
+}
+
+// OneDim implements the Theorem 3.1 construction: an output-oblivious CRN
+// with a leader stably computing any semilinear nondecreasing f : N → N.
+// The leader tracks how many inputs it has consumed (exactly below n,
+// mod p above), emitting the finite differences:
+//
+//	L → f(0)·Y + L_0
+//	L_i + X → [f(i+1)−f(i)]·Y + L_{i+1}          i = 0..n−2
+//	L_{n−1} + X → [f(n)−f(n−1)]·Y + P_{n mod p}
+//	P_a + X → δ_a·Y + P_{a+1 mod p}
+func OneDim(spec *OneDimSpec) (*crn.CRN, error) {
+	f, n, p := spec.F, spec.N, spec.P
+	if int64(len(spec.Deltas)) != p {
+		return nil, fmt.Errorf("synth: %d deltas for period %d", len(spec.Deltas), p)
+	}
+	for x := int64(0); x < n; x++ {
+		if f(x+1) < f(x) {
+			return nil, fmt.Errorf("synth: f decreasing at %d", x)
+		}
+	}
+	for _, d := range spec.Deltas {
+		if d < 0 {
+			return nil, fmt.Errorf("synth: negative periodic difference")
+		}
+	}
+	li := func(i int64) crn.Species { return crn.Species(fmt.Sprintf("S%d", i)) }
+	pa := func(a int64) crn.Species { return crn.Species(fmt.Sprintf("P%d", ((a%p)+p)%p)) }
+
+	emit := func(reactants []crn.Term, count int64, next crn.Species, name string) crn.Reaction {
+		products := []crn.Term{{Coeff: 1, Sp: next}}
+		if count > 0 {
+			products = append(products, crn.Term{Coeff: count, Sp: "Y"})
+		}
+		return crn.Reaction{Reactants: reactants, Products: products, Name: name}
+	}
+
+	var reactions []crn.Reaction
+	first := li(0)
+	if n == 0 {
+		first = pa(0)
+	}
+	reactions = append(reactions, emit(
+		[]crn.Term{{Coeff: 1, Sp: "L"}}, f(0), first, "emit f(0)"))
+	for i := int64(0); i < n; i++ {
+		next := li(i + 1)
+		if i == n-1 {
+			next = pa(n)
+		}
+		reactions = append(reactions, emit(
+			[]crn.Term{{Coeff: 1, Sp: li(i)}, {Coeff: 1, Sp: "X"}},
+			f(i+1)-f(i), next, fmt.Sprintf("step %d", i)))
+	}
+	for a := int64(0); a < p; a++ {
+		reactions = append(reactions, emit(
+			[]crn.Term{{Coeff: 1, Sp: pa(a)}, {Coeff: 1, Sp: "X"}},
+			spec.Deltas[a], pa(a+1), fmt.Sprintf("periodic %d", a)))
+	}
+	return crn.New([]crn.Species{"X"}, "Y", "L", reactions)
+}
+
+// LeaderlessOneDim implements the Theorem 9.2 construction: a leaderless
+// output-oblivious CRN stably computing any semilinear superadditive
+// f : N → N. Every input bootstraps an auxiliary-leader state, and pairwise
+// merge reactions between states release the corrective differences
+// D = f(v+w) − f(v) − f(w) ≥ 0.
+func LeaderlessOneDim(spec *OneDimSpec) (*crn.CRN, error) {
+	f, p := spec.F, spec.P
+	if f(0) != 0 {
+		return nil, fmt.Errorf("synth: superadditive f must have f(0) = 0, got %d", f(0))
+	}
+	// Round n up to a positive multiple of p (the paper assumes p | n).
+	n := spec.N
+	if n == 0 {
+		n = p
+	}
+	if n%p != 0 {
+		n += p - n%p
+	}
+	// Verify superadditivity on the range the construction exercises.
+	limit := 2*n + 2*p + 4
+	for a := int64(0); a <= limit; a++ {
+		for b := int64(0); a+b <= limit; b++ {
+			if f(a)+f(b) > f(a+b) {
+				return nil, fmt.Errorf("synth: f is not superadditive: f(%d)+f(%d) > f(%d)", a, b, a+b)
+			}
+		}
+	}
+
+	// State species: value v ∈ [1, n) is S_v; value ≥ n collapses to
+	// P_{(v−n) mod p}.
+	state := func(v int64) crn.Species {
+		if v < n {
+			return crn.Species(fmt.Sprintf("S%d", v))
+		}
+		return crn.Species(fmt.Sprintf("P%d", (v-n)%p))
+	}
+	// fOf(state value class): representative value for output accounting.
+	emit := func(reactants []crn.Term, count int64, next crn.Species, name string) crn.Reaction {
+		products := []crn.Term{{Coeff: 1, Sp: next}}
+		if count > 0 {
+			products = append(products, crn.Term{Coeff: count, Sp: "Y"})
+		}
+		return crn.Reaction{Reactants: reactants, Products: products, Name: name}
+	}
+
+	var reactions []crn.Reaction
+	// X → f(1)·Y + state(1).
+	reactions = append(reactions, emit(
+		[]crn.Term{{Coeff: 1, Sp: "X"}}, f(1), state(1), "bootstrap"))
+
+	add := func(vi, vj int64, si, sj crn.Species) {
+		d := f(vi+vj) - f(vi) - f(vj)
+		var reactants []crn.Term
+		if si == sj {
+			reactants = []crn.Term{{Coeff: 2, Sp: si}}
+		} else {
+			reactants = []crn.Term{{Coeff: 1, Sp: si}, {Coeff: 1, Sp: sj}}
+		}
+		reactions = append(reactions, emit(reactants, d, state(vi+vj),
+			fmt.Sprintf("merge %s+%s", si, sj)))
+	}
+	// S_i + S_j for 1 ≤ i ≤ j < n.
+	for i := int64(1); i < n; i++ {
+		for j := i; j < n; j++ {
+			add(i, j, state(i), state(j))
+		}
+	}
+	// S_i + P_a: representative value n + a for P_a; the corrective
+	// difference is period-independent because the periodic differences
+	// cancel (see the paper's argument).
+	for i := int64(1); i < n; i++ {
+		for a := int64(0); a < p; a++ {
+			add(i, n+a, state(i), state(n+a))
+		}
+	}
+	// P_a + P_b with representatives n+a, n+b.
+	for a := int64(0); a < p; a++ {
+		for b := a; b < p; b++ {
+			add(n+a, n+b, state(n+a), state(n+b))
+		}
+	}
+	return crn.New([]crn.Species{"X"}, "Y", "", reactions)
+}

@@ -1,0 +1,68 @@
+package synth
+
+import (
+	"fmt"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/quilt"
+	"crncompose/internal/vec"
+)
+
+// FromQuilt implements Lemma 6.1: an output-oblivious CRN stably computing
+// a quilt-affine g : N^d → N (the range must be nonnegative). A single
+// leader walks the congruence classes of Z^d/pZ^d, consuming one input
+// molecule per step and emitting the finite difference δ_{i,a} outputs.
+//
+// Species: inputs X1..Xd, output Y, leader L, and p^d class species C_a.
+// Reactions:
+//
+//	L → g(0)·Y + C_0
+//	C_a + X_i → δ_{i,a}·Y + C_{a+e_i}    for every a, i.
+func FromQuilt(g *quilt.Func) (*crn.CRN, error) {
+	d := g.Dim()
+	p := g.Period()
+	if !g.NonnegativeOn(vec.Zero(d)) {
+		return nil, fmt.Errorf("synth: quilt-affine function has negative outputs on N^%d; translate first", d)
+	}
+	classes := vec.NumClasses(p, d)
+	inputs := make([]crn.Species, d)
+	for i := range inputs {
+		inputs[i] = crn.Species(fmt.Sprintf("X%d", i+1))
+	}
+	classSp := func(idx int64) crn.Species {
+		return crn.Species(fmt.Sprintf("C%d", idx))
+	}
+	var reactions []crn.Reaction
+
+	g0 := g.Eval(vec.Zero(d))
+	initProducts := []crn.Term{{Coeff: 1, Sp: classSp(vec.CongruenceIndex(vec.Zero(d), p))}}
+	if g0 > 0 {
+		initProducts = append(initProducts, crn.Term{Coeff: g0, Sp: "Y"})
+	}
+	reactions = append(reactions, crn.Reaction{
+		Reactants: []crn.Term{{Coeff: 1, Sp: "L"}},
+		Products:  initProducts,
+		Name:      "emit g(0)",
+	})
+
+	for idx := int64(0); idx < classes; idx++ {
+		a := vec.CongruenceClass(idx, p, d)
+		for i := 0; i < d; i++ {
+			delta, err := g.FiniteDifference(i, a)
+			if err != nil {
+				return nil, err
+			}
+			next := vec.CongruenceIndex(a.Add(vec.Unit(d, i)), p)
+			products := []crn.Term{{Coeff: 1, Sp: classSp(next)}}
+			if delta > 0 {
+				products = append(products, crn.Term{Coeff: delta, Sp: "Y"})
+			}
+			reactions = append(reactions, crn.Reaction{
+				Reactants: []crn.Term{{Coeff: 1, Sp: classSp(idx)}, {Coeff: 1, Sp: inputs[i]}},
+				Products:  products,
+				Name:      fmt.Sprintf("step i=%d a=%v", i+1, a),
+			})
+		}
+	}
+	return crn.New(inputs, "Y", "L", reactions)
+}
