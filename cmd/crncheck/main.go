@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) error {
 		lo         = fs.Int64("lo", 0, "grid lower bound per coordinate")
 		hi         = fs.Int64("hi", 3, "grid upper bound per coordinate")
 		maxConfigs = fs.Int("maxconfigs", 1<<20, "reachability budget per input")
+		workers    = fs.Int("workers", 0, "parallel grid workers (0 = all CPUs, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,7 +67,7 @@ func run(args []string, out io.Writer) error {
 		los[i], his[i] = *lo, *hi
 	}
 	res, err := reach.CheckGrid(c, func(x []int64) int64 { return f.Eval(vec.New(x...)) },
-		los, his, reach.WithMaxConfigs(*maxConfigs))
+		los, his, reach.WithMaxConfigs(*maxConfigs), reach.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}

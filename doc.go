@@ -8,10 +8,15 @@
 // which is exactly the class composable by concatenation. This module
 // implements the full constructive content of the paper:
 //
-//   - internal/crn, internal/parse: the discrete CRN model and a text
-//     format;
+//   - internal/vec: exact integer vector arithmetic, the pointwise order,
+//     congruences, and the 64-bit count-vector hash used for interning;
+//   - internal/crn, internal/parse: the discrete CRN model (with
+//     allocation-free dense-row applicability/apply accessors for the
+//     explorer) and a text format;
 //   - internal/reach: an exhaustive stable-computation model checker
-//     (the literal Section 2.2 definition);
+//     (the literal Section 2.2 definition) built on a flat configuration
+//     arena with hash interning, CSR edge storage, and a parallel grid
+//     verifier;
 //   - internal/sim: Gillespie and fair-random stochastic simulation,
 //     adversarial schedulers, parallel ensembles;
 //   - internal/semilinear, internal/quilt: semilinear functions

@@ -1,0 +1,3 @@
+module crncompose
+
+go 1.24

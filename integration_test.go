@@ -331,7 +331,7 @@ func TestAdditivityAcrossPipeline(t *testing.T) {
 	}
 	start := c.MustInitialConfig(vec.New(3))
 	g := reach.Explore(start)
-	for id := range g.Configs {
+	for id := 0; id < g.NumConfigs(); id++ {
 		tr := g.TraceTo(int32(id))
 		// Adding 2 extra inputs keeps the trace applicable.
 		bigger := c.MustInitialConfig(vec.New(5))

@@ -64,6 +64,50 @@ func (c *CRN) ConfigFromCounts(counts map[Species]int64) (Config, error) {
 	return Config{counts: v, crn: c}, nil
 }
 
+// DenseConfig wraps a dense count vector as a Config without copying. The
+// vector is indexed by the CRN's species table (see SpeciesList) and must
+// have exactly NumSpecies components. The Config borrows the slice: callers
+// must not mutate it afterwards. This is the arena accessor used by the
+// reachability engine, which stores all configurations in one flat backing
+// array.
+func (c *CRN) DenseConfig(counts vec.V) Config {
+	c.buildIndex()
+	if len(counts) != len(c.species) {
+		panic(fmt.Sprintf("crn: dense config has %d components, CRN has %d species", len(counts), len(c.species)))
+	}
+	return Config{counts: counts, crn: c}
+}
+
+// OutputIndex returns the dense index of the output species.
+func (c *CRN) OutputIndex() int { return c.Index(c.Output) }
+
+// NumReactions returns the number of reactions.
+func (c *CRN) NumReactions() int { return len(c.Reactions) }
+
+// ApplicableAt reports whether reaction ri can fire in the raw count row
+// counts (indexed like a dense configuration). It is the allocation-free
+// hot-path twin of Config.Applicable.
+func (c *CRN) ApplicableAt(counts []int64, ri int) bool {
+	for _, rc := range c.compiled[ri].reactants {
+		if counts[rc.idx] < rc.coeff {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyInto writes src + delta(ri) into dst, where src is a raw count row in
+// which reaction ri is applicable (not checked). dst and src must have equal
+// length and may alias. No allocation.
+func (c *CRN) ApplyInto(dst, src []int64, ri int) {
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	for _, d := range c.compiled[ri].delta {
+		dst[d.idx] += d.coeff
+	}
+}
+
 // CRN returns the owning network.
 func (cf Config) CRN() *CRN { return cf.crn }
 

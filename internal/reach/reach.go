@@ -12,13 +12,32 @@
 // configurations covers the whole graph. Exploration is bounded; results
 // distinguish "verified", "refuted (with witness)", and "inconclusive
 // (budget exhausted)".
+//
+// # Engine
+//
+// This is the hottest path in the module: every synthesized CRN is model
+// checked through Explore/CheckGrid. The explorer therefore avoids
+// per-configuration allocation entirely. All explored configurations live in
+// one flat []int64 arena (d counts per row), deduplicated by a 64-bit hash
+// with an open-addressing interning table — no string keys, no Config
+// clones. Edges are stored in CSR form (flat successor/reaction arrays plus
+// per-node offsets) built incrementally during the BFS, with predecessor CSR
+// derived in a second pass. CheckGrid fans the independent grid inputs out
+// across a bounded worker pool (WithWorkers, default runtime.NumCPU) while
+// preserving the exact sequential semantics: the reported failure is always
+// the first failing input in grid order.
 package reach
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"crncompose/internal/crn"
+	"crncompose/internal/vec"
 )
 
 // Options bound the exploration.
@@ -28,6 +47,10 @@ type Options struct {
 	// MaxCount caps any single species count; exceeding it marks the run
 	// inconclusive (the CRN may have unbounded reachable counts).
 	MaxCount int64
+	// Workers bounds the number of goroutines CheckGrid uses to verify
+	// independent grid inputs concurrently. Values < 1 mean
+	// runtime.NumCPU().
+	Workers int
 }
 
 // Option mutates Options.
@@ -39,10 +62,17 @@ func WithMaxConfigs(n int) Option { return func(o *Options) { o.MaxConfigs = n }
 // WithMaxCount sets the per-species count cap.
 func WithMaxCount(n int64) Option { return func(o *Options) { o.MaxCount = n } }
 
+// WithWorkers sets the CheckGrid worker-pool size. n < 1 selects
+// runtime.NumCPU(); n == 1 forces fully sequential checking.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
 func buildOptions(opts []Option) Options {
-	o := Options{MaxConfigs: 1 << 18, MaxCount: 1 << 40}
+	o := Options{MaxConfigs: 1 << 18, MaxCount: 1 << 40, Workers: 0}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.Workers < 1 {
+		o.Workers = runtime.NumCPU()
 	}
 	return o
 }
@@ -52,71 +82,190 @@ func buildOptions(opts []Option) Options {
 var ErrBudget = errors.New("reach: exploration budget exhausted")
 
 // Graph is the reachable configuration graph from a root configuration.
+// Configuration counts are stored row-wise in a flat arena and edges in CSR
+// (compressed sparse row) form; use the accessor methods. Config id 0 is the
+// root.
 type Graph struct {
-	CRN     *crn.CRN
-	Configs []crn.Config // Configs[0] is the root
-	// Succ[i] lists successor config ids of Configs[i]; Via[i][k] is the
-	// reaction index that produces Succ[i][k].
-	Succ [][]int32
-	Via  [][]int32
-	// Pred[i] lists predecessor ids (deduplicated).
-	Pred [][]int32
-	// Parent and ParentVia give one BFS tree edge for trace extraction
-	// (-1 for the root).
-	Parent    []int32
-	ParentVia []int32
+	CRN *crn.CRN
 	// Complete is false if the budget was exhausted (the graph is a prefix).
 	Complete bool
+
+	d      int     // species per configuration (arena row width)
+	outIdx int     // dense index of the output species
+	arena  []int64 // n rows of d counts
+
+	succ    []int32 // successor config ids, grouped by source node
+	via     []int32 // via[e] is the reaction producing edge e
+	succOff []int32 // len n+1; node u's out-edges are succ[succOff[u]:succOff[u+1]]
+	pred    []int32 // predecessor config ids (one entry per in-edge, not deduplicated)
+	predOff []int32 // len n+1
+
+	// parent and parentVia give one BFS tree edge per node for trace
+	// extraction (-1 for the root).
+	parent    []int32
+	parentVia []int32
+}
+
+// NumConfigs returns the number of explored configurations.
+func (g *Graph) NumConfigs() int { return len(g.parent) }
+
+// Counts returns the count row of configuration id, borrowed from the arena.
+// Callers must not mutate it.
+func (g *Graph) Counts(id int32) vec.V {
+	return g.arena[int(id)*g.d : (int(id)+1)*g.d]
+}
+
+// Config returns configuration id as a crn.Config backed by the arena
+// (no copy; treat as read-only).
+func (g *Graph) Config(id int32) crn.Config { return g.CRN.DenseConfig(g.Counts(id)) }
+
+// Root returns the root configuration (id 0).
+func (g *Graph) Root() crn.Config { return g.Config(0) }
+
+// Output returns the output count of configuration id.
+func (g *Graph) Output(id int32) int64 { return g.arena[int(id)*g.d+g.outIdx] }
+
+// Succ returns the successor config ids of id (borrowed; do not mutate).
+func (g *Graph) Succ(id int32) []int32 { return g.succ[g.succOff[id]:g.succOff[id+1]] }
+
+// Via returns, aligned with Succ, the reaction index producing each
+// successor of id (borrowed; do not mutate).
+func (g *Graph) Via(id int32) []int32 { return g.via[g.succOff[id]:g.succOff[id+1]] }
+
+// Pred returns the predecessor config ids of id, one entry per in-edge
+// (borrowed; do not mutate).
+func (g *Graph) Pred(id int32) []int32 { return g.pred[g.predOff[id]:g.predOff[id+1]] }
+
+// Parent returns the BFS-tree parent of id (-1 for the root).
+func (g *Graph) Parent(id int32) int32 { return g.parent[id] }
+
+// ParentVia returns the reaction index on the BFS tree edge into id (-1 for
+// the root).
+func (g *Graph) ParentVia(id int32) int32 { return g.parentVia[id] }
+
+// interner deduplicates configuration count rows. Rows live contiguously in
+// arena; slots is an open-addressing hash table mapping row hash to id+1
+// (0 = empty). Load factor is kept below 3/4.
+type interner struct {
+	d      int
+	arena  []int64
+	hashes []uint64
+	slots  []int32
+	mask   uint64
+}
+
+func newInterner(d int) *interner {
+	const initialSlots = 1 << 10
+	return &interner{d: d, slots: make([]int32, initialSlots), mask: initialSlots - 1}
+}
+
+func (t *interner) n() int { return len(t.hashes) }
+
+func (t *interner) row(id int) []int64 { return t.arena[id*t.d : (id+1)*t.d] }
+
+// lookupOrAdd interns the row counts (copying it into the arena if new) and
+// reports whether it was added.
+func (t *interner) lookupOrAdd(counts []int64) (int32, bool) {
+	h := vec.Hash64(counts)
+	i := h & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			id := int32(len(t.hashes))
+			t.slots[i] = id + 1
+			t.hashes = append(t.hashes, h)
+			t.arena = append(t.arena, counts...)
+			if len(t.hashes)*4 >= len(t.slots)*3 {
+				t.grow()
+			}
+			return id, true
+		}
+		id := s - 1
+		if t.hashes[id] == h && slices.Equal(t.row(int(id)), counts) {
+			return id, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *interner) grow() {
+	slots := make([]int32, 2*len(t.slots))
+	mask := uint64(len(slots) - 1)
+	for id, h := range t.hashes {
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(id) + 1
+	}
+	t.slots, t.mask = slots, mask
 }
 
 // Explore enumerates the configurations reachable from root.
 func Explore(root crn.Config, opts ...Option) *Graph {
 	o := buildOptions(opts)
-	g := &Graph{CRN: root.CRN(), Complete: true}
-	ids := make(map[string]int32, 1024)
+	c := root.CRN()
+	d := c.NumSpecies()
+	g := &Graph{CRN: c, Complete: true, d: d, outIdx: c.OutputIndex()}
+	in := newInterner(d)
 
-	add := func(c crn.Config, parent, via int32) int32 {
-		key := c.Key()
-		if id, ok := ids[key]; ok {
-			return id
-		}
-		id := int32(len(g.Configs))
-		ids[key] = id
-		g.Configs = append(g.Configs, c)
-		g.Succ = append(g.Succ, nil)
-		g.Via = append(g.Via, nil)
-		g.Pred = append(g.Pred, nil)
-		g.Parent = append(g.Parent, parent)
-		g.ParentVia = append(g.ParentVia, via)
-		return id
-	}
+	in.lookupOrAdd(root.CountsRef())
+	g.parent = append(g.parent, -1)
+	g.parentVia = append(g.parentVia, -1)
 
-	add(root.Clone(), -1, -1)
-	numReactions := len(root.CRN().Reactions)
-	for head := 0; head < len(g.Configs); head++ {
-		if len(g.Configs) > o.MaxConfigs {
+	numReactions := c.NumReactions()
+	cur := make([]int64, d)     // stable copy of the head row (the arena may move)
+	scratch := make([]int64, d) // candidate successor row
+	succOff := make([]int32, 1, 1024)
+	for head := 0; head < in.n(); head++ {
+		if in.n() > o.MaxConfigs {
 			g.Complete = false
 			break
 		}
-		cur := g.Configs[head]
+		copy(cur, in.row(head))
 		for ri := 0; ri < numReactions; ri++ {
-			if !cur.Applicable(ri) {
+			if !c.ApplicableAt(cur, ri) {
 				continue
 			}
-			next := cur.Apply(ri)
-			if next.CountsRef().MaxComponent() > o.MaxCount {
+			c.ApplyInto(scratch, cur, ri)
+			if vec.V(scratch).MaxComponent() > o.MaxCount {
 				g.Complete = false
 				continue
 			}
-			nid := add(next, int32(head), int32(ri))
-			g.Succ[head] = append(g.Succ[head], nid)
-			g.Via[head] = append(g.Via[head], int32(ri))
+			nid, added := in.lookupOrAdd(scratch)
+			if added {
+				g.parent = append(g.parent, int32(head))
+				g.parentVia = append(g.parentVia, int32(ri))
+			}
+			g.succ = append(g.succ, nid)
+			g.via = append(g.via, int32(ri))
 		}
+		succOff = append(succOff, int32(len(g.succ)))
 	}
-	// Build predecessor lists.
-	for u := range g.Succ {
-		for _, v := range g.Succ[u] {
-			g.Pred[v] = append(g.Pred[v], int32(u))
+	// Close the offset table over nodes that were discovered but never
+	// expanded (budget exhaustion leaves a frontier).
+	n := in.n()
+	for len(succOff) < n+1 {
+		succOff = append(succOff, int32(len(g.succ)))
+	}
+	g.arena = in.arena
+	g.succOff = succOff
+
+	// Predecessor CSR: count in-degrees, prefix-sum, then fill.
+	g.predOff = make([]int32, n+1)
+	for _, v := range g.succ {
+		g.predOff[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.predOff[i+1] += g.predOff[i]
+	}
+	g.pred = make([]int32, len(g.succ))
+	fill := make([]int32, n)
+	copy(fill, g.predOff[:n])
+	for u := 0; u < n; u++ {
+		for _, v := range g.succ[succOff[u]:succOff[u+1]] {
+			g.pred[fill[v]] = int32(u)
+			fill[v]++
 		}
 	}
 	return g
@@ -126,25 +275,26 @@ func Explore(root crn.Config, opts ...Option) *Graph {
 // BFS tree.
 func (g *Graph) TraceTo(id int32) crn.Trace {
 	var rev []int
-	for cur := id; cur != 0; cur = g.Parent[cur] {
-		rev = append(rev, int(g.ParentVia[cur]))
+	for cur := id; cur != 0; cur = g.parent[cur] {
+		rev = append(rev, int(g.parentVia[cur]))
 	}
 	seq := make([]int, len(rev))
 	for i := range rev {
 		seq[i] = rev[len(rev)-1-i]
 	}
-	return crn.Trace{Start: g.Configs[0], Reactions: seq}
+	// Clone the root so the trace stays valid independently of the arena.
+	return crn.Trace{Start: g.Root().Clone(), Reactions: seq}
 }
 
 // outputBounds computes, for every configuration, the minimum and maximum
 // output count over all configurations reachable from it, by fixpoint
 // propagation backward along edges.
 func (g *Graph) outputBounds() (minY, maxY []int64) {
-	n := len(g.Configs)
+	n := g.NumConfigs()
 	minY = make([]int64, n)
 	maxY = make([]int64, n)
-	for i, c := range g.Configs {
-		y := c.Output()
+	for i := 0; i < n; i++ {
+		y := g.Output(int32(i))
 		minY[i] = y
 		maxY[i] = y
 	}
@@ -160,7 +310,7 @@ func (g *Graph) outputBounds() (minY, maxY []int64) {
 		u := queue[0]
 		queue = queue[1:]
 		inQueue[u] = false
-		for _, p := range g.Pred[u] {
+		for _, p := range g.Pred(u) {
 			changed := false
 			if minY[u] < minY[p] {
 				minY[p] = minY[u]
@@ -186,7 +336,7 @@ func (g *Graph) outputBounds() (minY, maxY []int64) {
 func (g *Graph) StableIDs() []int32 {
 	minY, maxY := g.outputBounds()
 	var out []int32
-	for i := range g.Configs {
+	for i := range minY {
 		if minY[i] == maxY[i] {
 			out = append(out, int32(i))
 		}
@@ -218,16 +368,16 @@ type Verdict struct {
 func CheckInput(root crn.Config, want int64, opts ...Option) Verdict {
 	g := Explore(root, opts...)
 	if !g.Complete {
-		return Verdict{Inconclusive: true, Explored: len(g.Configs), Err: ErrBudget}
+		return Verdict{Inconclusive: true, Explored: g.NumConfigs(), Err: ErrBudget}
 	}
 	minY, maxY := g.outputBounds()
-	n := len(g.Configs)
+	n := g.NumConfigs()
 
 	// Correct stable configurations.
 	correct := make([]bool, n)
 	anyCorrect := false
-	for i, c := range g.Configs {
-		if minY[i] == maxY[i] && c.Output() == want {
+	for i := 0; i < n; i++ {
+		if minY[i] == maxY[i] && g.Output(int32(i)) == want {
 			correct[i] = true
 			anyCorrect = true
 		}
@@ -236,12 +386,12 @@ func CheckInput(root crn.Config, want int64, opts ...Option) Verdict {
 		// Prefer an overproduction witness if one exists: a config whose
 		// output already exceeds want and can never come back down (always
 		// true for output-oblivious CRNs).
-		for i, c := range g.Configs {
-			if c.Output() > want {
+		for i := 0; i < n; i++ {
+			if y := g.Output(int32(i)); y > want {
 				tr := g.TraceTo(int32(i))
 				return Verdict{
 					OK:       false,
-					Err:      fmt.Errorf("reach: no correct stable configuration; output overshoots to %d (want %d)", c.Output(), want),
+					Err:      fmt.Errorf("reach: no correct stable configuration; output overshoots to %d (want %d)", y, want),
 					Witness:  &tr,
 					Explored: n,
 				}
@@ -266,20 +416,20 @@ func CheckInput(root crn.Config, want int64, opts ...Option) Verdict {
 	for len(queue) > 0 {
 		u := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, p := range g.Pred[u] {
+		for _, p := range g.Pred(u) {
 			if !canReach[p] {
 				canReach[p] = true
 				queue = append(queue, p)
 			}
 		}
 	}
-	for i := range g.Configs {
+	for i := 0; i < n; i++ {
 		if !canReach[i] {
 			tr := g.TraceTo(int32(i))
 			return Verdict{
 				OK: false,
 				Err: fmt.Errorf("reach: configuration %s is reachable but cannot reach a stable configuration with output %d",
-					g.Configs[i], want),
+					g.Config(int32(i)), want),
 				Witness:  &tr,
 				Explored: n,
 			}
@@ -291,48 +441,140 @@ func CheckInput(root crn.Config, want int64, opts ...Option) Verdict {
 // Func is an integer-valued function f : N^d -> N given as an evaluator.
 type Func func(x []int64) int64
 
+// gridJob is one grid input with its root configuration and expected output,
+// prepared sequentially so f is never called concurrently.
+type gridJob struct {
+	x    []int64
+	root crn.Config
+	want int64
+}
+
 // CheckGrid verifies stable computation of f on every input lo ≤ x ≤ hi.
-// It returns the first failing verdict together with the offending input,
-// or an all-OK summary.
+// It returns the first failing verdict (in lexicographic grid order)
+// together with the offending input, or an all-OK summary.
+//
+// Independent inputs are checked concurrently on a worker pool (see
+// WithWorkers). The grid is enumerated lazily in bounded chunks, so memory
+// stays O(workers) regardless of grid size and a failure in an early chunk
+// stops the run without evaluating f on the rest of the grid. f is only
+// invoked from the calling goroutine, so it need not be safe for concurrent
+// use. Results are deterministic: concurrency never changes which failure is
+// reported or the counts for inputs preceding it.
 func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, error) {
 	if len(lo) != c.Dim() || len(hi) != c.Dim() {
 		return GridResult{}, fmt.Errorf("reach: grid arity %d/%d does not match CRN arity %d", len(lo), len(hi), c.Dim())
 	}
-	res := GridResult{}
+	o := buildOptions(opts)
+
+	// Lazily enumerate the grid in lexicographic order, materializing roots
+	// and expected outputs chunk by chunk. An enumeration error (bad initial
+	// configuration or negative f) stops enumeration; inputs before it are
+	// still checked, matching the sequential semantics.
 	x := append([]int64(nil), lo...)
-	for {
-		root, err := c.InitialConfig(x)
-		if err != nil {
-			return res, err
-		}
-		want := f(x)
-		if want < 0 {
-			return res, fmt.Errorf("reach: f%v = %d is negative", x, want)
-		}
-		v := CheckInput(root, want, opts...)
-		res.Checked++
-		res.Explored += v.Explored
-		if v.Inconclusive {
-			res.Inconclusive++
-		} else if !v.OK {
-			xc := append([]int64(nil), x...)
-			res.Failure = &GridFailure{Input: xc, Want: want, Verdict: v}
-			return res, nil
-		}
-		// Advance odometer.
-		i := len(x) - 1
-		for i >= 0 {
-			x[i]++
-			if x[i] <= hi[i] {
+	done := false
+	var enumErr error
+	nextChunk := func(limit int) []gridJob {
+		var jobs []gridJob
+		for !done && enumErr == nil && len(jobs) < limit {
+			root, err := c.InitialConfig(x)
+			if err != nil {
+				enumErr = err
 				break
 			}
-			x[i] = lo[i]
-			i--
+			want := f(x)
+			if want < 0 {
+				enumErr = fmt.Errorf("reach: f%v = %d is negative", x, want)
+				break
+			}
+			jobs = append(jobs, gridJob{x: append([]int64(nil), x...), root: root, want: want})
+			// Advance odometer.
+			i := len(x) - 1
+			for i >= 0 {
+				x[i]++
+				if x[i] <= hi[i] {
+					break
+				}
+				x[i] = lo[i]
+				i--
+			}
+			if i < 0 {
+				done = true
+			}
 		}
-		if i < 0 {
-			return res, nil
+		return jobs
+	}
+
+	res := GridResult{}
+	chunkSize := max(64, 8*o.Workers)
+	for {
+		jobs := nextChunk(chunkSize)
+		verdicts := runGridJobs(jobs, o, opts)
+		for i := range jobs {
+			v := verdicts[i]
+			res.Checked++
+			res.Explored += v.Explored
+			if v.Inconclusive {
+				res.Inconclusive++
+			} else if !v.OK {
+				res.Failure = &GridFailure{Input: jobs[i].x, Want: jobs[i].want, Verdict: v}
+				return res, nil
+			}
+		}
+		if done || enumErr != nil {
+			return res, enumErr
 		}
 	}
+}
+
+// runGridJobs checks one chunk of grid inputs, sequentially or on a worker
+// pool, and returns per-job verdicts. Entries past the first failing index
+// may be zero-valued: the caller aggregates in order and never reads them.
+func runGridJobs(jobs []gridJob, o Options, opts []Option) []Verdict {
+	verdicts := make([]Verdict, len(jobs))
+	workers := min(o.Workers, len(jobs))
+	if workers <= 1 {
+		for i := range jobs {
+			verdicts[i] = CheckInput(jobs[i].root, jobs[i].want, opts...)
+			if !verdicts[i].OK && !verdicts[i].Inconclusive {
+				break
+			}
+		}
+		return verdicts
+	}
+	// failMin is the smallest job index known to have failed; jobs after it
+	// can be skipped since aggregation never reads past the first failure.
+	// It only decreases, so every index ≤ its final value is guaranteed to
+	// have been fully checked.
+	var next, failMin atomic.Int64
+	failMin.Store(int64(len(jobs)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(jobs)) {
+					return
+				}
+				if i > failMin.Load() {
+					continue
+				}
+				v := CheckInput(jobs[i].root, jobs[i].want, opts...)
+				verdicts[i] = v
+				if !v.OK && !v.Inconclusive {
+					for {
+						cur := failMin.Load()
+						if i >= cur || failMin.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return verdicts
 }
 
 // GridResult summarizes a CheckGrid run.

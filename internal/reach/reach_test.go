@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"slices"
 	"strings"
 	"testing"
 
@@ -30,21 +31,21 @@ func TestExploreCounts(t *testing.T) {
 	if !g.Complete {
 		t.Fatal("exploration incomplete")
 	}
-	if len(g.Configs) != 3 {
-		t.Errorf("explored %d configs, want 3", len(g.Configs))
+	if g.NumConfigs() != 3 {
+		t.Errorf("explored %d configs, want 3", g.NumConfigs())
 	}
 }
 
 func TestTraceReconstruction(t *testing.T) {
 	g := Explore(maxCRN().MustInitialConfig(vec.New(2, 1)))
-	for id := range g.Configs {
+	for id := 0; id < g.NumConfigs(); id++ {
 		tr := g.TraceTo(int32(id))
 		final, err := tr.Replay()
 		if err != nil {
 			t.Fatalf("trace to %d: %v", id, err)
 		}
-		if final.Key() != g.Configs[id].Key() {
-			t.Fatalf("trace to %d lands on %s, want %s", id, final, g.Configs[id])
+		if final.Key() != g.Config(int32(id)).Key() {
+			t.Fatalf("trace to %d lands on %s, want %s", id, final, g.Config(int32(id)))
 		}
 	}
 }
@@ -57,8 +58,8 @@ func TestStableIDs(t *testing.T) {
 	if len(stable) != 1 {
 		t.Fatalf("stable ids = %v", stable)
 	}
-	if g.Configs[stable[0]].Output() != 1 {
-		t.Errorf("stable output = %d", g.Configs[stable[0]].Output())
+	if g.Output(stable[0]) != 1 {
+		t.Errorf("stable output = %d", g.Output(stable[0]))
 	}
 }
 
@@ -174,10 +175,10 @@ func TestVerdictOnLeaderedCRN(t *testing.T) {
 func TestGraphPredecessorsConsistent(t *testing.T) {
 	g := Explore(maxCRN().MustInitialConfig(vec.New(1, 2)))
 	// Every successor edge must appear as a predecessor edge.
-	for u := range g.Succ {
-		for _, v := range g.Succ[u] {
+	for u := 0; u < g.NumConfigs(); u++ {
+		for _, v := range g.Succ(int32(u)) {
 			found := false
-			for _, p := range g.Pred[v] {
+			for _, p := range g.Pred(v) {
 				if int(p) == u {
 					found = true
 					break
@@ -187,5 +188,128 @@ func TestGraphPredecessorsConsistent(t *testing.T) {
 				t.Fatalf("edge %d→%d missing from Pred", u, v)
 			}
 		}
+	}
+}
+
+func TestGraphViaEdgesReplay(t *testing.T) {
+	// Each CSR edge (u, v, via) must satisfy v = Apply(u, via): the edge
+	// arrays and the arena have to agree.
+	g := Explore(maxCRN().MustInitialConfig(vec.New(2, 2)))
+	edges := 0
+	for u := 0; u < g.NumConfigs(); u++ {
+		succ, via := g.Succ(int32(u)), g.Via(int32(u))
+		if len(succ) != len(via) {
+			t.Fatalf("node %d: %d successors but %d via entries", u, len(succ), len(via))
+		}
+		cu := g.Config(int32(u))
+		for k, v := range succ {
+			ri := int(via[k])
+			if !cu.Applicable(ri) {
+				t.Fatalf("edge %d→%d: reaction %d not applicable at source", u, v, ri)
+			}
+			got := cu.Apply(ri)
+			if got.Key() != g.Config(v).Key() {
+				t.Fatalf("edge %d→%d via %d lands on %s, want %s", u, v, ri, got, g.Config(v))
+			}
+			edges++
+		}
+	}
+	if edges == 0 {
+		t.Fatal("graph has no edges")
+	}
+}
+
+func TestGridInconclusiveCounting(t *testing.T) {
+	// X → 2X is unbounded for every x ≥ 1; x = 0 is trivially stable. The
+	// grid must count the inconclusive inputs without failing.
+	grower := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 2, Sp: "X"}}},
+	})
+	res, err := CheckGrid(grower, func(x []int64) int64 { return 0 },
+		[]int64{0}, []int64{3}, WithMaxConfigs(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("inconclusive inputs must not refute: %v", res)
+	}
+	if res.Checked != 4 || res.Inconclusive != 3 {
+		t.Fatalf("checked=%d inconclusive=%d, want 4/3", res.Checked, res.Inconclusive)
+	}
+	if !strings.Contains(res.String(), "3 inconclusive") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestGridResultString(t *testing.T) {
+	ok := GridResult{Checked: 9, Inconclusive: 1, Explored: 1234}
+	if s := ok.String(); !strings.Contains(s, "9 inputs verified") || !strings.Contains(s, "1234 configs") {
+		t.Errorf("ok String() = %q", s)
+	}
+	fail := GridResult{
+		Checked: 2,
+		Failure: &GridFailure{Input: []int64{1, 2}, Want: 3, Verdict: Verdict{Err: ErrBudget}},
+	}
+	if s := fail.String(); !strings.Contains(s, "FAIL at x=[1 2]") || !strings.Contains(s, "want 3") {
+		t.Errorf("fail String() = %q", s)
+	}
+}
+
+func TestCheckGridParallelMatchesSequential(t *testing.T) {
+	// The parallel scheduler must report the identical first failure (in
+	// grid order) and identical counts for the prefix before it.
+	f := func(x []int64) int64 { return x[0] } // wrong for min: fails off-diagonal
+	seq, err := CheckGrid(minCRN(), f, []int64{0, 0}, []int64{5, 5}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := CheckGrid(minCRN(), f, []int64{0, 0}, []int64{5, 5}, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.OK() || seq.OK() {
+			t.Fatal("wrong function accepted")
+		}
+		if !slices.Equal(par.Failure.Input, seq.Failure.Input) {
+			t.Fatalf("workers=%d: failure at %v, sequential failed at %v", workers, par.Failure.Input, seq.Failure.Input)
+		}
+		if par.Checked != seq.Checked || par.Explored != seq.Explored {
+			t.Fatalf("workers=%d: checked/explored %d/%d, sequential %d/%d",
+				workers, par.Checked, par.Explored, seq.Checked, seq.Explored)
+		}
+	}
+	// And on an all-OK grid the totals must be independent of the pool size.
+	want := func(x []int64) int64 { return min(x[0], x[1]) }
+	seqOK, err := CheckGrid(minCRN(), want, []int64{0, 0}, []int64{5, 5}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOK, err := CheckGrid(minCRN(), want, []int64{0, 0}, []int64{5, 5}, WithWorkers(4))
+	if err != nil || !parOK.OK() {
+		t.Fatalf("%v %v", err, parOK)
+	}
+	if parOK != seqOK {
+		t.Fatalf("parallel %+v != sequential %+v", parOK, seqOK)
+	}
+}
+
+func TestCheckGridNegativeFunction(t *testing.T) {
+	// A negative f stops the grid with an error; earlier inputs are still
+	// counted.
+	calls := 0
+	f := func(x []int64) int64 {
+		calls++
+		if x[0] == 1 && x[1] == 0 {
+			return -1
+		}
+		return min(x[0], x[1])
+	}
+	res, err := CheckGrid(minCRN(), f, []int64{0, 0}, []int64{2, 2})
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Checked != 3 { // (0,0) (0,1) (0,2) precede (1,0) lexicographically
+		t.Fatalf("checked = %d, want 3", res.Checked)
 	}
 }

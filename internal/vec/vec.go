@@ -8,6 +8,7 @@ package vec
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -234,14 +235,38 @@ func (v V) String() string {
 // Key returns a compact string usable as a map key. Distinct vectors of the
 // same dimension have distinct keys.
 func (v V) Key() string {
-	var sb strings.Builder
+	b := make([]byte, 0, 4*len(v))
 	for i, x := range v {
 		if i > 0 {
-			sb.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&sb, "%d", x)
+		b = strconv.AppendInt(b, x, 10)
 	}
-	return sb.String()
+	return string(b)
+}
+
+// Hash64 returns a 64-bit hash of the components, suitable for hash-based
+// interning of vectors of a fixed dimension. Each component is diffused with
+// a splitmix64-style finalizer and folded in order-dependently, so
+// permutations of the same multiset hash differently.
+func (v V) Hash64() uint64 { return Hash64(v) }
+
+// Hash64 hashes a raw count slice; see V.Hash64. It accepts []int64 so hot
+// paths can hash arena rows without converting to V.
+func Hash64(xs []int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) ^ uint64(len(xs))
+	for _, x := range xs {
+		k := uint64(x)
+		k *= 0xbf58476d1ce4e5b9
+		k ^= k >> 31
+		k *= 0x94d049bb133111eb
+		h ^= k
+		h = h*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	}
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
 }
 
 func mustSameDim(v, w V) {

@@ -212,8 +212,9 @@ func BuildOverproduction(c *crn.CRN, f Func, con *Contradiction, opts ...reach.O
 		}
 		found := false
 		for _, id := range g.StableIDs() {
-			if g.Configs[id].Output() == f(a) {
-				stables[idx] = stableInfo{cfg: g.Configs[id], trace: g.TraceTo(id)}
+			if g.Output(id) == f(a) {
+				// Clone so the stable config doesn't pin the whole arena.
+				stables[idx] = stableInfo{cfg: g.Config(id).Clone(), trace: g.TraceTo(id)}
 				found = true
 				break
 			}
@@ -251,9 +252,9 @@ func BuildOverproduction(c *crn.CRN, f Func, con *Contradiction, opts ...reach.O
 	}
 	var alpha []int
 	foundAlpha := false
-	for id, cfg := range gi.Configs {
-		if cfg.Output() == targetY {
-			alpha = gi.TraceTo(int32(id)).Reactions
+	for id := int32(0); id < int32(gi.NumConfigs()); id++ {
+		if gi.Output(id) == targetY {
+			alpha = gi.TraceTo(id).Reactions
 			foundAlpha = true
 			break
 		}
