@@ -1,0 +1,233 @@
+// Command bench runs the reachability and simulation benchmark suites and
+// writes machine-readable results to BENCH_reach.json and BENCH_sim.json,
+// so the performance trajectory of the hot paths (configs/sec explored,
+// ns per simulated reaction, allocations) is tracked in-repo from PR 2
+// forward.
+//
+// Usage:
+//
+//	go run ./cmd/bench             # full suites, writes BENCH_*.json in .
+//	go run ./cmd/bench -quick      # small workloads (CI smoke), same files
+//	go run ./cmd/bench -outdir /tmp -suite reach
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"crncompose/internal/benchcrn"
+	"crncompose/internal/classify"
+	"crncompose/internal/reach"
+	"crncompose/internal/semilinear"
+	"crncompose/internal/sim"
+	"crncompose/internal/synth"
+	"crncompose/internal/vec"
+)
+
+type record struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type suiteReport struct {
+	Suite       string   `json:"suite"`
+	GeneratedBy string   `json:"generated_by"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Quick       bool     `json:"quick"`
+	Benchmarks  []record `json:"benchmarks"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "small workloads for CI smoke runs")
+	outdir := flag.String("outdir", ".", "directory for BENCH_*.json")
+	suite := flag.String("suite", "all", "which suite to run: reach, sim, or all")
+	flag.Parse()
+
+	if *suite == "reach" || *suite == "all" {
+		if err := writeReport(*outdir, "BENCH_reach.json", reachSuite(*quick)); err != nil {
+			fatal(err)
+		}
+	}
+	if *suite == "sim" || *suite == "all" {
+		if err := writeReport(*outdir, "BENCH_sim.json", simSuite(*quick)); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+func newReport(name string, quick bool) suiteReport {
+	return suiteReport{
+		Suite:       name,
+		GeneratedBy: "go run ./cmd/bench",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Quick:       quick,
+	}
+}
+
+func writeReport(dir, file string, rep suiteReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, file)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+	return nil
+}
+
+func toRecord(name string, r testing.BenchmarkResult) record {
+	rec := record{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		rec.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			rec.Extra[k] = v
+		}
+	}
+	return rec
+}
+
+// reachSuite measures the state-space explorer on the paper's Fig 4a
+// general construction at x=(1,1) — the canonical single-input workload —
+// across worker counts, plus the two-level grid verifier.
+func reachSuite(quick bool) suiteReport {
+	rep := newReport("reach", quick)
+	f := semilinear.Fig4a()
+	c, _, err := synth.General(f, synth.GeneralOptions{
+		Classify: classify.Options{Bound: 8},
+		N:        2,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	root := c.MustInitialConfig(vec.New(1, 1))
+	budget := 1 << 23
+	if quick {
+		budget = 1 << 14 // explore a 16k-config prefix only
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("explore_fig4a_workers%d", workers)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var configs int
+			for i := 0; i < b.N; i++ {
+				g := reach.Explore(root, reach.WithMaxConfigs(budget), reach.WithWorkers(workers))
+				if g.Complete == quick {
+					b.Fatalf("Complete = %v with budget %d", g.Complete, budget)
+				}
+				configs = g.NumConfigs()
+			}
+			b.ReportMetric(float64(configs), "configs")
+			b.ReportMetric(float64(configs)/(b.Elapsed().Seconds()/float64(b.N)), "configs/s")
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toRecord(name, r))
+	}
+	hi := int64(1)
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("checkgrid_fig4a_2x2_workers%d", workers)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := reach.CheckGrid(c,
+					func(x []int64) int64 { return f.Eval(vec.New(x...)) },
+					[]int64{0, 0}, []int64{hi, hi},
+					reach.WithMaxConfigs(budget), reach.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !quick && !res.OK() {
+					b.Fatal(res)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toRecord(name, r))
+	}
+	return rep
+}
+
+func simSuite(quick bool) suiteReport {
+	rep := newReport("sim", quick)
+	steps := int64(100_000)
+	n := int64(10_000)
+	if quick {
+		steps, n = 10_000, 1_000
+	}
+
+	ring := benchcrn.Ring(128)
+	ringStart := ring.MustInitialConfig(vec.New(64))
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			res := sim.Gillespie(ringStart, sim.WithSeed(uint64(i)+1), sim.WithMaxSteps(steps))
+			fired += res.Steps
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord("gillespie_ring128_incremental", r))
+
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			fired += benchcrn.GillespieFullRecompute(ringStart, steps, uint64(i)+1)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord("gillespie_ring128_full_recompute_baseline", r))
+
+	start := benchcrn.Max().MustInitialConfig(vec.New(n, n))
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			res := sim.Gillespie(start, sim.WithSeed(uint64(i)))
+			fired += res.Steps
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+		b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "reactions/s")
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord(fmt.Sprintf("gillespie_max_n%d", n), r))
+
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			res := sim.FairRandom(start, sim.WithSeed(uint64(i)))
+			fired += res.Steps
+		}
+		b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "reactions/s")
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord(fmt.Sprintf("fairrandom_max_n%d", n), r))
+	return rep
+}

@@ -36,7 +36,7 @@ func run(args []string, out io.Writer) error {
 		lo         = fs.Int64("lo", 0, "grid lower bound per coordinate")
 		hi         = fs.Int64("hi", 3, "grid upper bound per coordinate")
 		maxConfigs = fs.Int("maxconfigs", 1<<20, "reachability budget per input")
-		workers    = fs.Int("workers", 0, "parallel grid workers (0 = all CPUs, 1 = sequential)")
+		workers    = fs.Int("workers", 0, "total worker budget, split between parallel grid inputs and parallel exploration within each input (0 = all CPUs, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -8,9 +8,12 @@
 //	crnsynth -f floor3x2 -leaderless   # Theorem 9.2 (1D superadditive only)
 //	crnsynth -list                     # list available functions
 //	crnsynth -f max                    # fails with the Lemma 4.1 witness
+//	crnsynth -f min -verify 3          # synthesize, then model-check on [0,3]^d
 //
 // Flags -bound and -n tune the classifier census bound and the eventual
-// threshold (smaller n ⇒ smaller CRN, when valid).
+// threshold (smaller n ⇒ smaller CRN, when valid). -verify model-checks the
+// synthesized CRN before emitting it, using -workers parallel workers split
+// between grid inputs and per-input exploration.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"strings"
 
 	"crncompose/internal/core"
+	"crncompose/internal/reach"
 	"crncompose/internal/semilinear"
 	"crncompose/internal/synth"
 	"crncompose/internal/vec"
@@ -43,6 +47,9 @@ func run(args []string, out io.Writer) error {
 		bound      = fs.Int64("bound", 0, "classifier census bound (0 = default)")
 		n          = fs.Int64("n", 0, "eventual threshold override (0 = classifier's)")
 		stats      = fs.Bool("stats", false, "print size statistics instead of the CRN")
+		verify     = fs.Int64("verify", -1, "model-check the synthesized CRN on the grid [0,N]^d before emitting it (-1 = off)")
+		workers    = fs.Int("workers", 0, "total verification worker budget, split between grid inputs and per-input exploration (0 = all CPUs)")
+		maxConfigs = fs.Int("maxconfigs", 1<<20, "verification reachability budget per input")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +72,16 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%w\n%s", err, nce.Result.Contradiction)
 		}
 		return err
+	}
+	if *verify >= 0 {
+		res, verr := sys.Verify(0, *verify, reach.WithWorkers(*workers), reach.WithMaxConfigs(*maxConfigs))
+		if verr != nil {
+			return verr
+		}
+		if !res.OK() {
+			return fmt.Errorf("synthesized CRN failed verification: %s", res)
+		}
+		fmt.Fprintf(os.Stderr, "verified: %s\n", res)
 	}
 	if *stats {
 		fmt.Fprintf(out, "function=%s species=%d reactions=%d terms=%d n=%s oblivious=%v\n",

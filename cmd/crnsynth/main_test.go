@@ -91,3 +91,14 @@ func TestUnknownFunction(t *testing.T) {
 		t.Fatal("unknown function accepted")
 	}
 }
+
+func TestSynthVerify(t *testing.T) {
+	// Small grid so the general-construction state spaces stay tractable.
+	var sb strings.Builder
+	if err := run([]string{"-f", "min1", "-verify", "1", "-workers", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parse.Parse(sb.String()); err != nil {
+		t.Fatalf("verified CRN does not reparse: %v", err)
+	}
+}

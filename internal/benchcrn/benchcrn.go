@@ -1,0 +1,93 @@
+// Package benchcrn provides the shared benchmark workloads used by both the
+// in-tree `go test -bench` suites and cmd/bench, so the committed
+// BENCH_*.json numbers always measure exactly the same networks and
+// baseline algorithm as the benchmarks they mirror.
+package benchcrn
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"crncompose/internal/crn"
+)
+
+// Ring synthesizes a token-ring CRN with m reactions S_i → S_{i+1 mod m},
+// every 8th station also emitting an output Y. Firing any reaction perturbs
+// the propensities of only ~2 others, so it is the sparse-dependency
+// workload the incremental Gillespie engine targets: a full-recompute
+// simulator pays O(m) per step, the dependency-graph engine O(1).
+func Ring(m int) *crn.CRN {
+	sp := func(i int) crn.Species { return crn.Species(fmt.Sprintf("S%03d", i%m)) }
+	reactions := make([]crn.Reaction, 0, m)
+	for i := 0; i < m; i++ {
+		products := []crn.Term{{Coeff: 1, Sp: sp(i + 1)}}
+		if i%8 == 0 {
+			products = append(products, crn.Term{Coeff: 1, Sp: "Y"})
+		}
+		reactions = append(reactions, crn.Reaction{
+			Reactants: []crn.Term{{Coeff: 1, Sp: sp(i)}},
+			Products:  products,
+		})
+	}
+	return crn.MustNew([]crn.Species{"S000"}, "Y", "", reactions)
+}
+
+// Max is the paper's Fig 1 max CRN — the standard small simulation target
+// with transient output overshoot.
+func Max() *crn.CRN {
+	return crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Z2"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Z2"}}, Products: []crn.Term{{Coeff: 1, Sp: "K"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "K"}, {Coeff: 1, Sp: "Y"}}, Products: nil},
+	})
+}
+
+// GillespieFullRecompute is the pre-PR2 Gillespie step loop — every
+// propensity recomputed from scratch each step, with per-term species map
+// lookups — kept as the shared baseline so the incremental engine's win
+// stays measurable in both benchmark suites. Returns the number of
+// reactions fired.
+func GillespieFullRecompute(start crn.Config, maxSteps int64, seed uint64) (steps int64) {
+	rng := rand.New(rand.NewPCG(seed, 0x9E3779B97F4A7C15))
+	cur := start.Clone()
+	c := cur.CRN()
+	nR := len(c.Reactions)
+	props := make([]float64, nR)
+	for steps < maxSteps {
+		total := 0.0
+		for ri := 0; ri < nR; ri++ {
+			p := 1.0
+			for _, term := range c.Reactions[ri].Reactants {
+				n := cur.Count(term.Sp)
+				if n < term.Coeff {
+					p = 0
+					break
+				}
+				for j := int64(0); j < term.Coeff; j++ {
+					p *= float64(n - j)
+				}
+				for j := int64(2); j <= term.Coeff; j++ {
+					p /= float64(j)
+				}
+			}
+			props[ri] = p
+			total += p
+		}
+		if total == 0 {
+			return steps
+		}
+		rng.ExpFloat64()
+		u := rng.Float64() * total
+		ri := 0
+		for ; ri < nR-1; ri++ {
+			u -= props[ri]
+			if u < 0 {
+				break
+			}
+		}
+		cur.ApplyInPlace(ri)
+		steps++
+	}
+	return steps
+}

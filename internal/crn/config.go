@@ -89,7 +89,7 @@ func (c *CRN) NumReactions() int { return len(c.Reactions) }
 // hot-path twin of Config.Applicable.
 func (c *CRN) ApplicableAt(counts []int64, ri int) bool {
 	for _, rc := range c.compiled[ri].reactants {
-		if counts[rc.idx] < rc.coeff {
+		if counts[rc.Idx] < rc.Coeff {
 			return false
 		}
 	}
@@ -104,7 +104,7 @@ func (c *CRN) ApplyInto(dst, src []int64, ri int) {
 		copy(dst, src)
 	}
 	for _, d := range c.compiled[ri].delta {
-		dst[d.idx] += d.coeff
+		dst[d.Idx] += d.Coeff
 	}
 }
 
@@ -164,7 +164,7 @@ func (cf Config) Add(other Config) Config {
 func (cf Config) Applicable(ri int) bool {
 	cr := cf.crn.compiled[ri]
 	for _, rc := range cr.reactants {
-		if cf.counts[rc.idx] < rc.coeff {
+		if cf.counts[rc.Idx] < rc.Coeff {
 			return false
 		}
 	}
@@ -179,7 +179,7 @@ func (cf Config) Apply(ri int) Config {
 	}
 	out := cf.counts.Clone()
 	for _, d := range cf.crn.compiled[ri].delta {
-		out[d.idx] += d.coeff
+		out[d.Idx] += d.Coeff
 	}
 	return Config{counts: out, crn: cf.crn}
 }
@@ -191,7 +191,7 @@ func (cf *Config) ApplyInPlace(ri int) {
 		panic(fmt.Sprintf("crn: reaction %d (%s) not applicable in %s", ri, cf.crn.Reactions[ri], cf))
 	}
 	for _, d := range cf.crn.compiled[ri].delta {
-		cf.counts[d.idx] += d.coeff
+		cf.counts[d.Idx] += d.Coeff
 	}
 }
 

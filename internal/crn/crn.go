@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Species is a species name. Names are case-sensitive identifiers.
@@ -93,19 +94,22 @@ type CRN struct {
 	// Reactions is the reaction set.
 	Reactions []Reaction
 
-	species  []Species          // sorted species universe (lazily built)
-	index    map[Species]int    // species -> dense index
-	compiled []compiledReaction // dense form for fast simulation
+	indexOnce sync.Once          // guards the lazy build below
+	species   []Species          // sorted species universe (lazily built)
+	index     map[Species]int    // species -> dense index
+	compiled  []compiledReaction // dense form for fast simulation
 }
 
 type compiledReaction struct {
-	reactants []idxCoeff // consumed counts by species index
-	delta     []idxCoeff // net change by species index
+	reactants []IdxCoeff // consumed counts by species index
+	delta     []IdxCoeff // net change by species index
 }
 
-type idxCoeff struct {
-	idx   int
-	coeff int64
+// IdxCoeff pairs a dense species index with a coefficient; the compiled
+// dense form of reaction sides (see ReactantsAt and DeltaAt).
+type IdxCoeff struct {
+	Idx   int
+	Coeff int64
 }
 
 // New constructs a CRN with the given roles and reactions, and validates it.
@@ -190,10 +194,14 @@ func (c *CRN) NumSpecies() int {
 	return len(c.species)
 }
 
+// buildIndex lazily builds the species table and compiled reaction rows.
+// It is safe for concurrent first call: the reachability engine's parallel
+// workers and sim ensembles may race to trigger the build.
 func (c *CRN) buildIndex() {
-	if c.index != nil {
-		return
-	}
+	c.indexOnce.Do(c.buildIndexNow)
+}
+
+func (c *CRN) buildIndexNow() {
 	set := make(map[Species]bool)
 	for _, in := range c.Inputs {
 		set[in] = true
@@ -235,17 +243,35 @@ func (c *CRN) buildIndex() {
 		}
 		cr := compiledReaction{}
 		for idx, coeff := range need {
-			cr.reactants = append(cr.reactants, idxCoeff{idx, coeff})
+			cr.reactants = append(cr.reactants, IdxCoeff{idx, coeff})
 		}
 		for idx, d := range delta {
 			if d != 0 {
-				cr.delta = append(cr.delta, idxCoeff{idx, d})
+				cr.delta = append(cr.delta, IdxCoeff{idx, d})
 			}
 		}
-		sort.Slice(cr.reactants, func(i, j int) bool { return cr.reactants[i].idx < cr.reactants[j].idx })
-		sort.Slice(cr.delta, func(i, j int) bool { return cr.delta[i].idx < cr.delta[j].idx })
+		sort.Slice(cr.reactants, func(i, j int) bool { return cr.reactants[i].Idx < cr.reactants[j].Idx })
+		sort.Slice(cr.delta, func(i, j int) bool { return cr.delta[i].Idx < cr.delta[j].Idx })
 		c.compiled[ri] = cr
 	}
+}
+
+// ReactantsAt returns reaction ri's reactant requirements in compiled dense
+// form: duplicate terms merged per species, sorted by species index. The
+// slice is shared with the CRN — callers must not mutate it. This is the
+// single source of truth for merged-reactant semantics (applicability and
+// mass-action propensities must agree on it).
+func (c *CRN) ReactantsAt(ri int) []IdxCoeff {
+	c.buildIndex()
+	return c.compiled[ri].reactants
+}
+
+// DeltaAt returns reaction ri's net count change in compiled dense form:
+// only species with nonzero net change, sorted by species index. Shared;
+// do not mutate.
+func (c *CRN) DeltaAt(ri int) []IdxCoeff {
+	c.buildIndex()
+	return c.compiled[ri].delta
 }
 
 // IsOutputOblivious reports whether the output species never appears as a

@@ -2,6 +2,7 @@ package crn
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -255,5 +256,38 @@ func TestStringRoundtripFormat(t *testing.T) {
 		if !strings.Contains(s, frag) {
 			t.Errorf("String() missing %q:\n%s", frag, s)
 		}
+	}
+}
+
+func TestConcurrentLazyIndexBuild(t *testing.T) {
+	// The species index and compiled reaction tables are built lazily; the
+	// reachability engine's parallel workers may race to the first call.
+	// Construct the CRN without New (which pre-builds) so the lazy path is
+	// actually exercised, then hit it from many goroutines under -race.
+	c := &CRN{
+		Inputs: []Species{"X1", "X2"},
+		Output: "Y",
+		Reactions: []Reaction{
+			{Reactants: []Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []Term{{Coeff: 1, Sp: "Y"}}},
+			{Reactants: []Term{{Coeff: 2, Sp: "Y"}}, Products: []Term{{Coeff: 1, Sp: "K"}}},
+		},
+	}
+	var wg sync.WaitGroup
+	got := make([]int, 16)
+	for i := range got {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = c.NumSpecies() + c.Index("Y") + c.OutputIndex()
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d saw %d, goroutine 0 saw %d", i, got[i], got[0])
+		}
+	}
+	if c.NumSpecies() != 4 {
+		t.Fatalf("species universe = %d, want 4", c.NumSpecies())
 	}
 }

@@ -10,6 +10,7 @@ package reach_test
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 	"testing"
 
@@ -115,12 +116,62 @@ func BenchmarkExploreFig4a(b *testing.B) {
 	c := fig4aCRN(b)
 	root := c.MustInitialConfig(vec.New(1, 1))
 	benchExplore(b, func() int {
-		g := reach.Explore(root, reach.WithMaxConfigs(1<<23))
+		g := reach.Explore(root, reach.WithMaxConfigs(1<<23), reach.WithWorkers(1))
 		if !g.Complete {
 			b.Fatal("incomplete")
 		}
 		return g.NumConfigs()
 	})
+}
+
+func benchExploreFig4aWorkers(b *testing.B, workers int) {
+	c := fig4aCRN(b)
+	root := c.MustInitialConfig(vec.New(1, 1))
+	benchExplore(b, func() int {
+		g := reach.Explore(root, reach.WithMaxConfigs(1<<23), reach.WithWorkers(workers))
+		if !g.Complete {
+			b.Fatal("incomplete")
+		}
+		return g.NumConfigs()
+	})
+}
+
+func BenchmarkExploreFig4aParallel2(b *testing.B) { benchExploreFig4aWorkers(b, 2) }
+func BenchmarkExploreFig4aParallel4(b *testing.B) { benchExploreFig4aWorkers(b, 4) }
+func BenchmarkExploreFig4aParallel8(b *testing.B) { benchExploreFig4aWorkers(b, 8) }
+
+// TestExploreFig4aParallelIdentical pins the tentpole contract on the real
+// workload: the parallel engine's graph on the Fig 4a general construction
+// at x=(1,1) (86,780 configurations) is indistinguishable from the
+// sequential engine's through every accessor.
+func TestExploreFig4aParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4a exploration skipped in -short")
+	}
+	c := fig4aCRN(t)
+	root := c.MustInitialConfig(vec.New(1, 1))
+	seq := reach.Explore(root, reach.WithMaxConfigs(1<<23), reach.WithWorkers(1))
+	par := reach.Explore(root, reach.WithMaxConfigs(1<<23), reach.WithWorkers(8))
+	if !seq.Complete || !par.Complete {
+		t.Fatal("exploration incomplete")
+	}
+	if seq.NumConfigs() != par.NumConfigs() {
+		t.Fatalf("configs: sequential %d, parallel %d", seq.NumConfigs(), par.NumConfigs())
+	}
+	for id := int32(0); id < int32(seq.NumConfigs()); id++ {
+		if !slices.Equal(seq.Counts(id), par.Counts(id)) {
+			t.Fatalf("config %d: counts %v vs %v", id, seq.Counts(id), par.Counts(id))
+		}
+		if !slices.Equal(seq.Succ(id), par.Succ(id)) || !slices.Equal(seq.Via(id), par.Via(id)) {
+			t.Fatalf("config %d: CSR out-edges differ", id)
+		}
+		if !slices.Equal(seq.Pred(id), par.Pred(id)) {
+			t.Fatalf("config %d: CSR in-edges differ", id)
+		}
+		if seq.Parent(id) != par.Parent(id) || seq.ParentVia(id) != par.ParentVia(id) {
+			t.Fatalf("config %d: BFS tree differs", id)
+		}
+	}
 }
 
 func BenchmarkExploreFig4aStringKeyed(b *testing.B) {

@@ -1,0 +1,231 @@
+package reach
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"crncompose/internal/vec"
+)
+
+// interner deduplicates configuration count rows for the sequential engine.
+// Rows live contiguously in arena; slots is an open-addressing hash table
+// mapping row hash to id+1 (0 = empty). Load factor is kept below 3/4.
+type interner struct {
+	d      int
+	arena  []int64
+	hashes []uint64
+	slots  []int32
+	mask   uint64
+}
+
+func newInterner(d int) *interner {
+	const initialSlots = 1 << 10
+	return &interner{d: d, slots: make([]int32, initialSlots), mask: initialSlots - 1}
+}
+
+func (t *interner) n() int { return len(t.hashes) }
+
+func (t *interner) row(id int) []int64 { return t.arena[id*t.d : (id+1)*t.d] }
+
+// lookupOrAdd interns the row counts (copying it into the arena if new) and
+// reports whether it was added.
+func (t *interner) lookupOrAdd(counts []int64) (int32, bool) {
+	h := vec.Hash64(counts)
+	i := h & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			id := int32(len(t.hashes))
+			t.slots[i] = id + 1
+			t.hashes = append(t.hashes, h)
+			t.arena = append(t.arena, counts...)
+			if len(t.hashes)*4 >= len(t.slots)*3 {
+				t.grow()
+			}
+			return id, true
+		}
+		id := s - 1
+		if t.hashes[id] == h && slices.Equal(t.row(int(id)), counts) {
+			return id, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *interner) grow() {
+	slots := make([]int32, 2*len(t.slots))
+	mask := uint64(len(slots) - 1)
+	for id, h := range t.hashes {
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(id) + 1
+	}
+	t.slots, t.mask = slots, mask
+}
+
+const (
+	// Arena chunks target this many int64s (≈256 KB) whatever the row
+	// width, so a tiny exploration of a wide-species CRN never pays for a
+	// huge mostly-empty first chunk, while narrow CRNs still get thousands
+	// of rows per chunk.
+	targetChunkInt64s = 1 << 15
+
+	// The intern table is split into 1<<shardBits independently locked
+	// shards selected by the top bits of the row hash.
+	shardBits = 7
+	numShards = 1 << shardBits
+)
+
+// chunkedArena stores configuration count rows (d int64 each) in fixed-size
+// chunks. Unlike an append-grown flat slice, growth never moves existing
+// rows, which is what lets parallel workers read frontier rows while other
+// workers claim and fill new ones. The chunk directory itself grows
+// copy-on-write behind an atomic pointer, so readers never lock.
+type chunkedArena struct {
+	d     int
+	shift uint  // log2 rows per chunk, sized from d at construction
+	mask  int32 // rows per chunk - 1
+	dir   atomic.Pointer[[][]int64]
+	mu    sync.Mutex // serializes directory growth
+}
+
+func newChunkedArena(d int) *chunkedArena {
+	shift := uint(6)
+	for shift < 13 && (1<<(shift+1))*max(d, 1) <= targetChunkInt64s {
+		shift++
+	}
+	a := &chunkedArena{d: d, shift: shift, mask: int32(1)<<shift - 1}
+	dir := make([][]int64, 0, 16)
+	a.dir.Store(&dir)
+	return a
+}
+
+// row returns row id. The row must already be published: either the caller
+// observed its intern-table entry under the owning shard's lock, or a level
+// barrier separates the write from this read.
+func (a *chunkedArena) row(id int32) []int64 {
+	dir := *a.dir.Load()
+	off := int(id&a.mask) * a.d
+	return dir[id>>a.shift][off : off+a.d]
+}
+
+// write copies counts into row id, allocating the owning chunk if needed.
+// Distinct ids may be written concurrently.
+func (a *chunkedArena) write(id int32, counts []int64) {
+	ci := int(id >> a.shift)
+	dir := *a.dir.Load()
+	if ci >= len(dir) {
+		dir = a.growTo(ci)
+	}
+	off := int(id&a.mask) * a.d
+	copy(dir[ci][off:off+a.d], counts)
+}
+
+func (a *chunkedArena) growTo(ci int) [][]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	dir := *a.dir.Load()
+	if ci < len(dir) {
+		return dir
+	}
+	grown := make([][]int64, len(dir), max(ci+1, 2*max(len(dir), 8)))
+	copy(grown, dir)
+	for len(grown) <= ci {
+		grown = append(grown, make([]int64, (int(a.mask)+1)*a.d))
+	}
+	a.dir.Store(&grown)
+	return grown
+}
+
+// shardedInterner deduplicates rows across concurrent workers. The table is
+// sharded by the top bits of the row hash (vec.HashShard); each shard is an
+// independently locked open-addressing table, so workers interning rows with
+// different hash prefixes never contend. Row ids are claimed from one atomic
+// counter: they are dense, but their order reflects goroutine scheduling —
+// the parallel explorer renumbers them deterministically afterwards.
+type shardedInterner struct {
+	d      int
+	arena  *chunkedArena
+	nextID atomic.Int32
+	shards [numShards]internShard
+}
+
+type internShard struct {
+	mu      sync.Mutex
+	entries []internEntry
+	mask    uint64
+	n       int
+	_       [24]byte // pad shards apart to avoid false sharing
+}
+
+// internEntry is one open-addressing slot: the row hash plus id+1
+// (0 marks an empty slot).
+type internEntry struct {
+	hash uint64
+	id   int32
+}
+
+func newShardedInterner(d int) *shardedInterner {
+	t := &shardedInterner{d: d, arena: newChunkedArena(d)}
+	const initialSlots = 64
+	for i := range t.shards {
+		t.shards[i].entries = make([]internEntry, initialSlots)
+		t.shards[i].mask = initialSlots - 1
+	}
+	return t
+}
+
+// n returns the number of interned rows. Only exact between level barriers.
+func (t *shardedInterner) n() int { return int(t.nextID.Load()) }
+
+// lookupOrAdd interns the row counts with hash h = vec.Hash64(counts),
+// copying it into the arena if new, and reports whether it was added. Safe
+// for concurrent use; the row is fully written before its entry is
+// published, and probing happens under the same shard lock, so a hit always
+// sees a complete row.
+func (t *shardedInterner) lookupOrAdd(counts []int64, h uint64) (int32, bool) {
+	s := &t.shards[vec.HashShard(h, shardBits)]
+	s.mu.Lock()
+	i := h & s.mask
+	for {
+		e := s.entries[i]
+		if e.id == 0 {
+			id := t.nextID.Add(1) - 1
+			if id < 0 {
+				panic("reach: intern table overflow (≥ 2^31 configurations)")
+			}
+			t.arena.write(id, counts)
+			s.entries[i] = internEntry{hash: h, id: id + 1}
+			s.n++
+			if s.n*4 >= len(s.entries)*3 {
+				s.grow()
+			}
+			s.mu.Unlock()
+			return id, true
+		}
+		if e.hash == h && slices.Equal(t.arena.row(e.id-1), counts) {
+			s.mu.Unlock()
+			return e.id - 1, false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *internShard) grow() {
+	entries := make([]internEntry, 2*len(s.entries))
+	mask := uint64(len(entries) - 1)
+	for _, e := range s.entries {
+		if e.id == 0 {
+			continue
+		}
+		i := e.hash & mask
+		for entries[i].id != 0 {
+			i = (i + 1) & mask
+		}
+		entries[i] = e
+	}
+	s.entries, s.mask = entries, mask
+}

@@ -1,0 +1,189 @@
+package reach
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/vec"
+)
+
+// The parallel engine explores one input's state space on many cores while
+// producing a Graph byte-identical to the sequential engine's. The sequential
+// engine is a FIFO BFS, so its ids are assigned level by level, and within a
+// level in (head order, reaction order) of first discovery. The parallel
+// engine reproduces that order without serializing the hot work:
+//
+//  1. Expand the current frontier in parallel: workers claim batches of
+//     frontier nodes, compute successors, and intern them in the sharded
+//     table, recording per-node edge lists under provisional (interner) ids.
+//     Interning order — and hence provisional ids — depends on scheduling.
+//  2. Replay the level sequentially (cheap: no hashing, no row copies):
+//     walk the frontier in canonical order and its recorded edges in
+//     reaction order, assigning canonical ids at first discovery and
+//     applying the MaxConfigs cut at the same head boundary the sequential
+//     engine would. This renumbering makes every output array — arena rows,
+//     CSR edges, BFS parents — independent of scheduling.
+//
+// Nodes interned during a level that the budget cut then discards are
+// dropped by the renumbering (they simply never receive a canonical id), so
+// budget-truncated graphs are also byte-identical to the sequential engine's.
+
+// levelEdge is one discovered edge: the provisional id of the successor and
+// the reaction producing it.
+type levelEdge struct {
+	pid int32
+	ri  int32
+}
+
+// levelResult is the expansion record of one frontier node.
+type levelResult struct {
+	edges    []levelEdge
+	overflow bool // some successor exceeded MaxCount and was skipped
+}
+
+func exploreParallel(root crn.Config, o Options) *Graph {
+	c := root.CRN()
+	d := c.NumSpecies() // also forces the CRN index build before workers start
+	g := &Graph{CRN: c, Complete: true, d: d, outIdx: c.OutputIndex()}
+	nR := c.NumReactions()
+
+	in := newShardedInterner(d)
+	rootRow := root.CountsRef()
+	in.lookupOrAdd(rootRow, vec.Hash64(rootRow))
+
+	// canon maps provisional ids to canonical ids (-1 = not yet discovered in
+	// canonical order); provOf is the inverse, appended in canonical order.
+	canon := make([]int32, 1, 1024)
+	provOf := make([]int32, 1, 1024)
+	g.parent = append(g.parent, -1)
+	g.parentVia = append(g.parentVia, -1)
+
+	frontier := []int32{0} // provisional ids of the current level, canonical order
+	frontCanonStart := 0   // canonical id of frontier[0]
+	ncanon := 1            // canonical ids assigned so far
+	succOff := make([]int32, 1, 1024)
+	truncated := false
+
+	for len(frontier) > 0 && !truncated {
+		// ncanon here counts every node through the end of this frontier, so
+		// if it already exceeds the budget the replay below would truncate at
+		// j=0 — the sequential engine stops at the same head. Bail before
+		// paying for a full level of expansion that would all be discarded.
+		if ncanon > o.MaxConfigs {
+			g.Complete = false
+			break
+		}
+		results := expandLevel(c, in, frontier, nR, o)
+		for len(canon) < in.n() {
+			canon = append(canon, -1)
+		}
+		var next []int32
+		for j := range frontier {
+			if ncanon > o.MaxConfigs {
+				g.Complete = false
+				truncated = true
+				break
+			}
+			u := int32(frontCanonStart + j)
+			r := &results[j]
+			if r.overflow {
+				g.Complete = false
+			}
+			for _, e := range r.edges {
+				cid := canon[e.pid]
+				if cid < 0 {
+					cid = int32(ncanon)
+					ncanon++
+					canon[e.pid] = cid
+					provOf = append(provOf, e.pid)
+					g.parent = append(g.parent, u)
+					g.parentVia = append(g.parentVia, e.ri)
+					next = append(next, e.pid)
+				}
+				g.succ = append(g.succ, cid)
+				g.via = append(g.via, e.ri)
+			}
+			succOff = append(succOff, int32(len(g.succ)))
+		}
+		frontCanonStart += len(frontier)
+		frontier = next
+	}
+
+	// Close the offset table over discovered-but-unexpanded nodes, then copy
+	// the surviving rows into a flat arena in canonical order.
+	for len(succOff) < ncanon+1 {
+		succOff = append(succOff, int32(len(g.succ)))
+	}
+	g.succOff = succOff
+	g.arena = make([]int64, ncanon*d)
+	for cid, pid := range provOf {
+		copy(g.arena[cid*d:(cid+1)*d], in.arena.row(pid))
+	}
+	g.buildPred()
+	return g
+}
+
+// expandLevel expands every frontier node, in parallel when the level is
+// large enough to amortize goroutine startup. results[j] depends only on
+// frontier[j]'s row, so the records are identical however the work lands on
+// workers; only provisional successor ids differ, and the caller's
+// renumbering erases that.
+func expandLevel(c *crn.CRN, in *shardedInterner, frontier []int32, nR int, o Options) []levelResult {
+	results := make([]levelResult, len(frontier))
+	workers := o.Workers
+	if len(frontier) < 4*workers {
+		workers = 1
+	}
+	var next atomic.Int64
+	if workers <= 1 {
+		expandWorker(c, in, frontier, results, &next, len(frontier), nR, o.MaxCount)
+		return results
+	}
+	batch := max(1, min(256, len(frontier)/(8*workers)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			expandWorker(c, in, frontier, results, &next, batch, nR, o.MaxCount)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+func expandWorker(c *crn.CRN, in *shardedInterner, frontier []int32, results []levelResult, next *atomic.Int64, batch, nR int, maxCount int64) {
+	d := in.d
+	scratch := make([]int64, d)
+	// Edge records append into a worker-local buffer; per-node slices are
+	// capped views into it. Capacity is topped up between nodes so one
+	// node's edges never straddle a reallocation.
+	var buf []levelEdge
+	for {
+		start := int(next.Add(int64(batch))) - batch
+		if start >= len(frontier) {
+			return
+		}
+		for j := start; j < min(start+batch, len(frontier)); j++ {
+			row := in.arena.row(frontier[j])
+			if cap(buf)-len(buf) < nR {
+				buf = make([]levelEdge, 0, max(1024, 4*nR))
+			}
+			first := len(buf)
+			for ri := 0; ri < nR; ri++ {
+				if !c.ApplicableAt(row, ri) {
+					continue
+				}
+				c.ApplyInto(scratch, row, ri)
+				if vec.V(scratch).MaxComponent() > maxCount {
+					results[j].overflow = true
+					continue
+				}
+				pid, _ := in.lookupOrAdd(scratch, vec.Hash64(scratch))
+				buf = append(buf, levelEdge{pid: pid, ri: int32(ri)})
+			}
+			results[j].edges = buf[first:len(buf):len(buf)]
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package reach
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/vec"
+)
+
+// requireGraphsIdentical asserts byte-identity of every array the engines
+// produce — the contract that makes verdicts and witness replay independent
+// of the worker count.
+func requireGraphsIdentical(t *testing.T, seq, par *Graph) {
+	t.Helper()
+	if seq.Complete != par.Complete {
+		t.Fatalf("Complete: sequential %v, parallel %v", seq.Complete, par.Complete)
+	}
+	if seq.d != par.d || seq.outIdx != par.outIdx {
+		t.Fatalf("d/outIdx: sequential %d/%d, parallel %d/%d", seq.d, seq.outIdx, par.d, par.outIdx)
+	}
+	for name, pair := range map[string][2][]int32{
+		"succ":      {seq.succ, par.succ},
+		"via":       {seq.via, par.via},
+		"succOff":   {seq.succOff, par.succOff},
+		"pred":      {seq.pred, par.pred},
+		"predOff":   {seq.predOff, par.predOff},
+		"parent":    {seq.parent, par.parent},
+		"parentVia": {seq.parentVia, par.parentVia},
+	} {
+		if !slices.Equal(pair[0], pair[1]) {
+			t.Fatalf("%s differs:\nsequential %v\nparallel   %v", name, pair[0], pair[1])
+		}
+	}
+	if !slices.Equal(seq.arena, par.arena) {
+		t.Fatalf("arena differs (%d vs %d rows)", seq.NumConfigs(), par.NumConfigs())
+	}
+}
+
+// branchyCRN has interleaving independent reactions, so BFS levels get wide
+// enough to exercise multi-worker expansion and cross-parent rediscovery.
+func branchyCRN() *crn.CRN {
+	return crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "L", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "A"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "B"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "A"}, {Coeff: 1, Sp: "B"}}, Products: []crn.Term{{Coeff: 1, Sp: "K"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "K"}, {Coeff: 1, Sp: "Y"}}, Products: nil},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "L"}, {Coeff: 1, Sp: "A"}}, Products: []crn.Term{{Coeff: 1, Sp: "L"}, {Coeff: 1, Sp: "C"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "C"}}, Products: []crn.Term{{Coeff: 1, Sp: "A"}}},
+	})
+}
+
+func TestExploreParallelByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		root crn.Config
+		opts []Option
+	}{
+		{"min", minCRN().MustInitialConfig(vec.New(4, 3)), nil},
+		{"max", maxCRN().MustInitialConfig(vec.New(5, 4)), nil},
+		{"branchy", branchyCRN().MustInitialConfig(vec.New(5, 5)), nil},
+		{"branchy-large", branchyCRN().MustInitialConfig(vec.New(8, 8)), nil},
+		// Budget cuts must land on the same head boundary.
+		{"budget-1", branchyCRN().MustInitialConfig(vec.New(6, 6)), []Option{WithMaxConfigs(1)}},
+		{"budget-17", branchyCRN().MustInitialConfig(vec.New(6, 6)), []Option{WithMaxConfigs(17)}},
+		{"budget-100", branchyCRN().MustInitialConfig(vec.New(6, 6)), []Option{WithMaxConfigs(100)}},
+		{"budget-0", branchyCRN().MustInitialConfig(vec.New(6, 6)), []Option{WithMaxConfigs(0)}},
+		// Count caps skip individual successors mid-level.
+		{"countcap", growerCRN().MustInitialConfig(vec.New(3)), []Option{WithMaxCount(40)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := Explore(tc.root, append(slices.Clone(tc.opts), WithWorkers(1))...)
+			for _, workers := range []int{2, 3, 8} {
+				par := Explore(tc.root, append(slices.Clone(tc.opts), WithWorkers(workers))...)
+				requireGraphsIdentical(t, seq, par)
+			}
+		})
+	}
+}
+
+func growerCRN() *crn.CRN {
+	return crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 2, Sp: "X"}}},
+		{Reactants: []crn.Term{{Coeff: 2, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "X"}, {Coeff: 1, Sp: "Y"}}},
+	})
+}
+
+func TestCheckInputParallelWitnessIdentical(t *testing.T) {
+	// A refuted check must report the identical error and witness trace at
+	// any worker count (the witness is extracted from graph ids, so this is
+	// the end-to-end consequence of byte-identity).
+	racy := crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}, {Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "K"}}},
+	})
+	root := racy.MustInitialConfig(vec.New(3, 3))
+	seq := CheckInput(root, 3, WithWorkers(1))
+	if seq.OK || seq.Witness == nil {
+		t.Fatalf("sequential check unexpectedly passed: %+v", seq)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par := CheckInput(root, 3, WithWorkers(workers))
+		if par.OK || par.Witness == nil {
+			t.Fatalf("workers=%d: check unexpectedly passed: %+v", workers, par)
+		}
+		if par.Err.Error() != seq.Err.Error() {
+			t.Fatalf("workers=%d: error %q, sequential %q", workers, par.Err, seq.Err)
+		}
+		if par.Explored != seq.Explored {
+			t.Fatalf("workers=%d: explored %d, sequential %d", workers, par.Explored, seq.Explored)
+		}
+		if !slices.Equal(par.Witness.Reactions, seq.Witness.Reactions) {
+			t.Fatalf("workers=%d: witness %v, sequential %v", workers, par.Witness.Reactions, seq.Witness.Reactions)
+		}
+		if _, err := par.Witness.Replay(); err != nil {
+			t.Fatalf("workers=%d: witness does not replay: %v", workers, err)
+		}
+	}
+}
+
+func TestShardedInternerContention(t *testing.T) {
+	// Stress one shard: rows picked so their hashes all land in shard 0, so
+	// every goroutine fights over a single shard lock while interning both
+	// duplicate and fresh rows. Ids must come out consistent and dense.
+	const d = 3
+	var rows [][]int64
+	for x := int64(0); len(rows) < 300; x++ {
+		row := []int64{x, x * 7, x % 5}
+		if vec.HashShard(vec.Hash64(row), shardBits) == 0 {
+			rows = append(rows, row)
+		}
+	}
+	in := newShardedInterner(d)
+	const goroutines = 16
+	ids := make([][]int32, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine interns every row in its own order.
+			order := rand.New(rand.NewPCG(uint64(gi), 7)).Perm(len(rows))
+			ids[gi] = make([]int32, len(rows))
+			for _, ri := range order {
+				id, _ := in.lookupOrAdd(rows[ri], vec.Hash64(rows[ri]))
+				ids[gi][ri] = id
+			}
+		}()
+	}
+	wg.Wait()
+	if in.n() != len(rows) {
+		t.Fatalf("interned %d rows, want %d", in.n(), len(rows))
+	}
+	seen := make(map[int32]bool)
+	for ri := range rows {
+		id := ids[0][ri]
+		if seen[id] {
+			t.Fatalf("row %d shares id %d with another row", ri, id)
+		}
+		seen[id] = true
+		if id < 0 || int(id) >= len(rows) {
+			t.Fatalf("row %d: id %d out of dense range", ri, id)
+		}
+		if !slices.Equal(in.arena.row(id), rows[ri]) {
+			t.Fatalf("row %d: arena holds %v, want %v", ri, in.arena.row(id), rows[ri])
+		}
+		for gi := 1; gi < goroutines; gi++ {
+			if ids[gi][ri] != id {
+				t.Fatalf("row %d: goroutine %d got id %d, goroutine 0 got %d", ri, gi, ids[gi][ri], id)
+			}
+		}
+	}
+}
+
+func TestChunkedArenaRowsStableAcrossGrowth(t *testing.T) {
+	// Rows handed out before growth must remain valid and unchanged after
+	// the directory grows many times over.
+	const d = 2
+	a := newChunkedArena(d)
+	chunkRows := a.mask + 1
+	early := []int64{42, 43}
+	a.write(0, early)
+	held := a.row(0)
+	for id := int32(1); id < 3*chunkRows; id++ {
+		a.write(id, []int64{int64(id), -int64(id)})
+	}
+	if !slices.Equal(held, early) {
+		t.Fatalf("early row changed after growth: %v", held)
+	}
+	for id := int32(1); id < 3*chunkRows; id += chunkRows / 3 {
+		if got := a.row(id); got[0] != int64(id) || got[1] != -int64(id) {
+			t.Fatalf("row %d = %v", id, got)
+		}
+	}
+	// And a wide-row arena must pick a small chunk so tiny explorations of
+	// wide-species CRNs don't allocate megabytes up front.
+	wide := newChunkedArena(200)
+	if rows := int(wide.mask) + 1; rows*200*8 > 2*targetChunkInt64s*8 {
+		t.Fatalf("chunk for d=200 is %d rows (%d bytes)", rows, rows*200*8)
+	}
+}
+
+func TestExploreWorkerSweepAgainstBaseline(t *testing.T) {
+	// Cross-check a mid-size graph across a sweep of worker counts and
+	// verify invariants hold on the parallel output too (via-edge replay).
+	root := branchyCRN().MustInitialConfig(vec.New(4, 6))
+	seq := Explore(root, WithWorkers(1))
+	for workers := 2; workers <= 12; workers++ {
+		par := Explore(root, WithWorkers(workers))
+		requireGraphsIdentical(t, seq, par)
+	}
+	for u := 0; u < seq.NumConfigs(); u++ {
+		cu := seq.Config(int32(u))
+		succ, via := seq.Succ(int32(u)), seq.Via(int32(u))
+		for k, v := range succ {
+			if got := cu.Apply(int(via[k])); got.Key() != seq.Config(v).Key() {
+				t.Fatalf("edge %d→%d via %d lands on %s", u, v, via[k], got)
+			}
+		}
+	}
+}
+
+func TestCheckGridSplitsWorkerBudget(t *testing.T) {
+	// A one-input grid with a large budget must still verify correctly (the
+	// whole budget goes to inner exploration), as must a wide grid.
+	for _, bounds := range [][2]int64{{0, 0}, {0, 3}} {
+		res, err := CheckGrid(minCRN(), func(x []int64) int64 { return min(x[0], x[1]) },
+			[]int64{bounds[0], bounds[0]}, []int64{bounds[1], bounds[1]}, WithWorkers(8))
+		if err != nil || !res.OK() {
+			t.Fatalf("bounds %v: %v %v", bounds, err, res)
+		}
+		want := (bounds[1] - bounds[0] + 1) * (bounds[1] - bounds[0] + 1)
+		if int64(res.Checked) != want {
+			t.Fatalf("bounds %v: checked %d, want %d", bounds, res.Checked, want)
+		}
+	}
+}
+
+func TestExploreParallelLargeGridEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large equivalence sweep skipped in -short")
+	}
+	// Larger inputs: tens of thousands of configurations with wide levels.
+	root := branchyCRN().MustInitialConfig(vec.New(12, 12))
+	seq := Explore(root, WithWorkers(1))
+	if seq.NumConfigs() < 10_000 {
+		t.Fatalf("test CRN too small to be interesting: %d configs", seq.NumConfigs())
+	}
+	for _, workers := range []int{2, 8} {
+		requireGraphsIdentical(t, seq, Explore(root, WithWorkers(workers)))
+	}
+}
+
+func TestExploreBudgetSweepByteIdentical(t *testing.T) {
+	// Every budget value from 0 to the full graph size must cut at the same
+	// boundary in both engines — this pins the exact mid-level truncation
+	// semantics, not just the easy full-graph case.
+	root := branchyCRN().MustInitialConfig(vec.New(3, 3))
+	full := Explore(root, WithWorkers(1))
+	n := full.NumConfigs()
+	for budget := 0; budget <= n+1; budget += max(1, n/37) {
+		seq := Explore(root, WithWorkers(1), WithMaxConfigs(budget))
+		par := Explore(root, WithWorkers(4), WithMaxConfigs(budget))
+		t.Run(fmt.Sprintf("budget-%d", budget), func(t *testing.T) {
+			requireGraphsIdentical(t, seq, par)
+		})
+	}
+}

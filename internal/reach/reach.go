@@ -18,14 +18,21 @@
 // This is the hottest path in the module: every synthesized CRN is model
 // checked through Explore/CheckGrid. The explorer therefore avoids
 // per-configuration allocation entirely. All explored configurations live in
-// one flat []int64 arena (d counts per row), deduplicated by a 64-bit hash
-// with an open-addressing interning table — no string keys, no Config
-// clones. Edges are stored in CSR form (flat successor/reaction arrays plus
-// per-node offsets) built incrementally during the BFS, with predecessor CSR
-// derived in a second pass. CheckGrid fans the independent grid inputs out
-// across a bounded worker pool (WithWorkers, default runtime.NumCPU) while
-// preserving the exact sequential semantics: the reported failure is always
-// the first failing input in grid order.
+// an []int64 arena (d counts per row), deduplicated by a 64-bit hash with an
+// open-addressing interning table — no string keys, no Config clones. Edges
+// are stored in CSR form (flat successor/reaction arrays plus per-node
+// offsets), with predecessor CSR derived in a second pass.
+//
+// Parallelism exists at both levels under one worker budget (WithWorkers,
+// default runtime.NumCPU). CheckGrid fans independent grid inputs out across
+// a bounded pool, and a single input's exploration itself runs
+// level-synchronized parallel BFS: the intern table is sharded by hash
+// prefix so workers dedup without a global lock, the arena grows in
+// fixed-size chunks so readers never see a moved backing array, and a
+// per-level renumbering pass (see parallel.go) makes the resulting Graph
+// byte-identical to the sequential engine's. Failure reporting is therefore
+// fully deterministic: the reported failure is always the first failing
+// input in grid order, with the same witness trace at any worker count.
 package reach
 
 import (
@@ -47,9 +54,12 @@ type Options struct {
 	// MaxCount caps any single species count; exceeding it marks the run
 	// inconclusive (the CRN may have unbounded reachable counts).
 	MaxCount int64
-	// Workers bounds the number of goroutines CheckGrid uses to verify
-	// independent grid inputs concurrently. Values < 1 mean
-	// runtime.NumCPU().
+	// Workers is the total goroutine budget. CheckGrid splits it between
+	// concurrent grid inputs and, when inputs are scarcer than workers,
+	// parallel exploration inside each input, so outer × inner never
+	// oversubscribes it. A bare Explore/CheckInput spends the whole budget
+	// on one state space. Values < 1 mean runtime.NumCPU(); 1 forces the
+	// sequential engine. Results are byte-identical at every setting.
 	Workers int
 }
 
@@ -62,7 +72,8 @@ func WithMaxConfigs(n int) Option { return func(o *Options) { o.MaxConfigs = n }
 // WithMaxCount sets the per-species count cap.
 func WithMaxCount(n int64) Option { return func(o *Options) { o.MaxCount = n } }
 
-// WithWorkers sets the CheckGrid worker-pool size. n < 1 selects
+// WithWorkers sets the total worker budget shared by grid-level and
+// exploration-level parallelism (see Options.Workers). n < 1 selects
 // runtime.NumCPU(); n == 1 forces fully sequential checking.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
@@ -143,67 +154,23 @@ func (g *Graph) Parent(id int32) int32 { return g.parent[id] }
 // the root).
 func (g *Graph) ParentVia(id int32) int32 { return g.parentVia[id] }
 
-// interner deduplicates configuration count rows. Rows live contiguously in
-// arena; slots is an open-addressing hash table mapping row hash to id+1
-// (0 = empty). Load factor is kept below 3/4.
-type interner struct {
-	d      int
-	arena  []int64
-	hashes []uint64
-	slots  []int32
-	mask   uint64
-}
-
-func newInterner(d int) *interner {
-	const initialSlots = 1 << 10
-	return &interner{d: d, slots: make([]int32, initialSlots), mask: initialSlots - 1}
-}
-
-func (t *interner) n() int { return len(t.hashes) }
-
-func (t *interner) row(id int) []int64 { return t.arena[id*t.d : (id+1)*t.d] }
-
-// lookupOrAdd interns the row counts (copying it into the arena if new) and
-// reports whether it was added.
-func (t *interner) lookupOrAdd(counts []int64) (int32, bool) {
-	h := vec.Hash64(counts)
-	i := h & t.mask
-	for {
-		s := t.slots[i]
-		if s == 0 {
-			id := int32(len(t.hashes))
-			t.slots[i] = id + 1
-			t.hashes = append(t.hashes, h)
-			t.arena = append(t.arena, counts...)
-			if len(t.hashes)*4 >= len(t.slots)*3 {
-				t.grow()
-			}
-			return id, true
-		}
-		id := s - 1
-		if t.hashes[id] == h && slices.Equal(t.row(int(id)), counts) {
-			return id, false
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-func (t *interner) grow() {
-	slots := make([]int32, 2*len(t.slots))
-	mask := uint64(len(slots) - 1)
-	for id, h := range t.hashes {
-		i := h & mask
-		for slots[i] != 0 {
-			i = (i + 1) & mask
-		}
-		slots[i] = int32(id) + 1
-	}
-	t.slots, t.mask = slots, mask
-}
-
-// Explore enumerates the configurations reachable from root.
+// Explore enumerates the configurations reachable from root. With a worker
+// budget above 1 (see WithWorkers; the default is runtime.NumCPU) the
+// exploration runs on the parallel level-synchronized engine; the resulting
+// Graph is byte-identical to the sequential engine's, so verdicts, witness
+// traces, and ids never depend on the worker count.
 func Explore(root crn.Config, opts ...Option) *Graph {
 	o := buildOptions(opts)
+	if o.Workers > 1 {
+		return exploreParallel(root, o)
+	}
+	return exploreSeq(root, o)
+}
+
+// exploreSeq is the single-threaded engine: a FIFO BFS interning rows into
+// one flat append-grown arena. It defines the canonical id order the
+// parallel engine reproduces.
+func exploreSeq(root crn.Config, o Options) *Graph {
 	c := root.CRN()
 	d := c.NumSpecies()
 	g := &Graph{CRN: c, Complete: true, d: d, outIdx: c.OutputIndex()}
@@ -250,8 +217,14 @@ func Explore(root crn.Config, opts ...Option) *Graph {
 	}
 	g.arena = in.arena
 	g.succOff = succOff
+	g.buildPred()
+	return g
+}
 
-	// Predecessor CSR: count in-degrees, prefix-sum, then fill.
+// buildPred derives the predecessor CSR from the successor CSR: count
+// in-degrees, prefix-sum, then fill in source order.
+func (g *Graph) buildPred() {
+	n := g.NumConfigs()
 	g.predOff = make([]int32, n+1)
 	for _, v := range g.succ {
 		g.predOff[v+1]++
@@ -263,12 +236,11 @@ func Explore(root crn.Config, opts ...Option) *Graph {
 	fill := make([]int32, n)
 	copy(fill, g.predOff[:n])
 	for u := 0; u < n; u++ {
-		for _, v := range g.succ[succOff[u]:succOff[u+1]] {
+		for _, v := range g.succ[g.succOff[u]:g.succOff[u+1]] {
 			g.pred[fill[v]] = int32(u)
 			fill[v]++
 		}
 	}
-	return g
 }
 
 // TraceTo reconstructs a reaction trace from the root to config id using the
@@ -529,12 +501,21 @@ func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, 
 // runGridJobs checks one chunk of grid inputs, sequentially or on a worker
 // pool, and returns per-job verdicts. Entries past the first failing index
 // may be zero-valued: the caller aggregates in order and never reads them.
+//
+// The total worker budget o.Workers is split across the two parallelism
+// levels: outer workers check independent inputs, and each check explores
+// its state space with inner = o.Workers/outer workers, so outer × inner
+// never exceeds the budget. When the chunk has at least o.Workers inputs the
+// split is all-outer (inner = 1, the sequential engine); a single large
+// input gets the whole budget as inner exploration workers.
 func runGridJobs(jobs []gridJob, o Options, opts []Option) []Verdict {
 	verdicts := make([]Verdict, len(jobs))
 	workers := min(o.Workers, len(jobs))
+	inner := max(1, o.Workers/max(workers, 1))
+	innerOpts := append(slices.Clip(slices.Clone(opts)), WithWorkers(inner))
 	if workers <= 1 {
 		for i := range jobs {
-			verdicts[i] = CheckInput(jobs[i].root, jobs[i].want, opts...)
+			verdicts[i] = CheckInput(jobs[i].root, jobs[i].want, innerOpts...)
 			if !verdicts[i].OK && !verdicts[i].Inconclusive {
 				break
 			}
@@ -560,7 +541,7 @@ func runGridJobs(jobs []gridJob, o Options, opts []Option) []Verdict {
 				if i > failMin.Load() {
 					continue
 				}
-				v := CheckInput(jobs[i].root, jobs[i].want, opts...)
+				v := CheckInput(jobs[i].root, jobs[i].want, innerOpts...)
 				verdicts[i] = v
 				if !v.OK && !v.Inconclusive {
 					for {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"crncompose/internal/benchcrn"
 	"crncompose/internal/vec"
 )
 
@@ -49,4 +50,37 @@ func BenchmarkEnsembleParallelScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkGillespie measures ns per simulated reaction on a 128-reaction
+// synthesized ring CRN — the workload where incremental propensity
+// maintenance (O(dependents) per step) beats the old full recompute
+// (O(reactions) per step).
+func BenchmarkGillespie(b *testing.B) {
+	const m, tokens, steps = 128, 64, 100_000
+	c := benchcrn.Ring(m)
+	start := c.MustInitialConfig(vec.New(tokens))
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			r := Gillespie(start, WithSeed(uint64(i)+1), WithMaxSteps(steps))
+			fired += r.Steps
+		}
+		if fired == 0 {
+			b.Fatal("no reactions fired")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+	})
+	b.Run("full-recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			fired += benchcrn.GillespieFullRecompute(start, steps, uint64(i)+1)
+		}
+		if fired == 0 {
+			b.Fatal("no reactions fired")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+	})
 }

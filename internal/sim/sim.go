@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"slices"
 
 	"crncompose/internal/crn"
 )
@@ -66,75 +67,56 @@ func buildOptions(opts []Option) Options {
 	return o
 }
 
-// Gillespie runs the exact stochastic simulation algorithm (direct method)
-// from the given configuration until no reaction is applicable, the silence
-// criterion fires, or the step budget is exhausted. All rate constants are
-// taken as 1; propensities are the combinatorial counts
-// Π_species C(S) choose coeff × coeff!  (i.e. falling factorials), the
-// standard mass-action form for discrete CRNs.
-func Gillespie(start crn.Config, opts ...Option) Result {
-	o := buildOptions(opts)
-	rng := rand.New(rand.NewPCG(o.Seed, 0x9E3779B97F4A7C15))
-	cur := start.Clone()
-	c := cur.CRN()
-	nR := len(c.Reactions)
-	props := make([]float64, nR)
-
-	var steps int64
-	var t float64
-	var silent int64
-	lastY := cur.Output()
-
-	for steps < o.MaxSteps {
-		total := 0.0
-		for ri := 0; ri < nR; ri++ {
-			props[ri] = propensity(cur, ri)
-			total += props[ri]
-		}
-		if total == 0 {
-			return Result{Final: cur, Steps: steps, Time: t, Converged: true}
-		}
-		// Exponential waiting time with rate = total propensity.
-		t += rand.ExpFloat64() / total * 1 // rand/v2 global is fine for time only
-		// Select reaction proportionally.
-		u := rng.Float64() * total
-		ri := 0
-		for ; ri < nR-1; ri++ {
-			u -= props[ri]
-			if u < 0 {
-				break
-			}
-		}
-		cur.ApplyInPlace(ri)
-		steps++
-		if y := cur.Output(); y != lastY {
-			lastY = y
-			silent = 0
-		} else {
-			silent++
-		}
-		if o.SilentSteps > 0 && silent >= o.SilentSteps {
-			return Result{Final: cur, Steps: steps, Time: t, Converged: true}
-		}
-	}
-	return Result{Final: cur, Steps: steps, Time: t, Converged: false}
+// compiledSim holds the dense tables Gillespie needs: the CRN's compiled
+// merged reactant rows (shared — crn.ReactantsAt is the single source of
+// merged-reactant semantics, so applicability and propensity always agree)
+// and the reaction→reaction dependency lists that make per-step propensity
+// maintenance O(dependents of the fired reaction) instead of O(reactions).
+type compiledSim struct {
+	reactants [][]crn.IdxCoeff
+	deps      [][]int32
+	outIdx    int
 }
 
-// propensity returns the mass-action combinatorial count for reaction ri in
-// cur: the number of distinct reactant multisets available.
-func propensity(cur crn.Config, ri int) float64 {
-	c := cur.CRN()
+func compileSim(c *crn.CRN) *compiledSim {
+	nR := c.NumReactions()
+	cs := &compiledSim{
+		reactants: make([][]crn.IdxCoeff, nR),
+		deps:      make([][]int32, nR),
+		outIdx:    c.OutputIndex(),
+	}
+	consumers := make([][]int32, c.NumSpecies())
+	for ri := 0; ri < nR; ri++ {
+		cs.reactants[ri] = c.ReactantsAt(ri)
+		for _, t := range cs.reactants[ri] {
+			consumers[t.Idx] = append(consumers[t.Idx], int32(ri))
+		}
+	}
+	for ri := 0; ri < nR; ri++ {
+		var deps []int32
+		for _, d := range c.DeltaAt(ri) {
+			deps = append(deps, consumers[d.Idx]...)
+		}
+		slices.Sort(deps)
+		cs.deps[ri] = slices.Compact(deps)
+	}
+	return cs
+}
+
+// propensityAt returns the mass-action combinatorial count for reaction ri
+// in the dense count row: the number of distinct reactant multisets,
+// Π_species (n choose k) (falling factorials over factorials).
+func (cs *compiledSim) propensityAt(counts []int64, ri int) float64 {
 	p := 1.0
-	for _, term := range c.Reactions[ri].Reactants {
-		n := cur.Count(term.Sp)
-		if n < term.Coeff {
+	for _, t := range cs.reactants[ri] {
+		n := counts[t.Idx]
+		if n < t.Coeff {
 			return 0
 		}
-		// n * (n-1) * ... * (n-k+1) / k!
-		for j := int64(0); j < term.Coeff; j++ {
+		for j := int64(0); j < t.Coeff; j++ {
 			p *= float64(n - j)
 		}
-		for j := int64(2); j <= term.Coeff; j++ {
+		for j := int64(2); j <= t.Coeff; j++ {
 			p /= float64(j)
 		}
 	}
@@ -142,6 +124,113 @@ func propensity(cur crn.Config, ri int) float64 {
 		return math.MaxFloat64 / 2
 	}
 	return p
+}
+
+// propensity returns the mass-action combinatorial count for reaction ri in
+// cur. Duplicate reactant terms naming the same species are merged, so the
+// count is always the true multiset count.
+func propensity(cur crn.Config, ri int) float64 {
+	return compileSim(cur.CRN()).propensityAt(cur.CountsRef(), ri)
+}
+
+// Gillespie runs the exact stochastic simulation algorithm (direct method)
+// from the given configuration until no reaction is applicable, the silence
+// criterion fires, or the step budget is exhausted. All rate constants are
+// taken as 1; propensities are the combinatorial counts
+// Π_species C(S) choose coeff × coeff!  (i.e. falling factorials), the
+// standard mass-action form for discrete CRNs.
+//
+// Propensities are maintained incrementally: firing a reaction only
+// recomputes the propensities of reactions sharing a species with its net
+// change (the compiled dependency graph), with a periodic full refresh
+// bounding floating-point drift in the running total. All randomness —
+// including the exponential waiting times — is drawn from the seeded
+// generator, so same-seed runs reproduce steps, simulated time, and final
+// configuration exactly.
+func Gillespie(start crn.Config, opts ...Option) Result {
+	o := buildOptions(opts)
+	rng := rand.New(rand.NewPCG(o.Seed, 0x9E3779B97F4A7C15))
+	c := start.CRN()
+	cs := compileSim(c)
+	counts := slices.Clone([]int64(start.CountsRef()))
+	nR := c.NumReactions()
+	props := make([]float64, nR)
+
+	total := 0.0
+	refresh := func() {
+		total = 0
+		for ri := 0; ri < nR; ri++ {
+			props[ri] = cs.propensityAt(counts, ri)
+			total += props[ri]
+		}
+	}
+	refresh()
+
+	var steps int64
+	var t float64
+	var silent int64
+	lastY := counts[cs.outIdx]
+	// Propensities are integers, so the running total is exact while it
+	// stays below 2^53; the periodic refresh covers the regime beyond that.
+	const refreshEvery = 1 << 16
+
+	for steps < o.MaxSteps {
+		if total <= 0 {
+			refresh()
+			if total <= 0 {
+				return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: true}
+			}
+		}
+		// Exponential waiting time with rate = total propensity.
+		t += rng.ExpFloat64() / total
+		ri := pick(props, rng.Float64()*total)
+		if ri < 0 {
+			// Drift left a positive total over all-zero propensities;
+			// resynchronize and retry (the convergence check above fires if
+			// the system is truly dead).
+			refresh()
+			continue
+		}
+		c.ApplyInto(counts, counts, ri)
+		steps++
+		if steps%refreshEvery == 0 {
+			refresh()
+		} else {
+			for _, rj := range cs.deps[ri] {
+				np := cs.propensityAt(counts, int(rj))
+				total += np - props[rj]
+				props[rj] = np
+			}
+		}
+		if y := counts[cs.outIdx]; y != lastY {
+			lastY = y
+			silent = 0
+		} else {
+			silent++
+		}
+		if o.SilentSteps > 0 && silent >= o.SilentSteps {
+			return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: true}
+		}
+	}
+	return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: false}
+}
+
+// pick selects the reaction whose propensity interval contains u, scanning
+// only positive entries so drift in the running total can never select an
+// inapplicable reaction. Returns -1 if every propensity is zero.
+func pick(props []float64, u float64) int {
+	last := -1
+	for ri, p := range props {
+		if p <= 0 {
+			continue
+		}
+		last = ri
+		u -= p
+		if u < 0 {
+			return ri
+		}
+	}
+	return last
 }
 
 // FairRandom runs a uniform-random applicable-reaction scheduler: at each

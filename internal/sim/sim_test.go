@@ -159,3 +159,95 @@ func TestSummarizeEmpty(t *testing.T) {
 		t.Error("empty summary wrong")
 	}
 }
+
+func TestGillespieSameSeedFullyReproducible(t *testing.T) {
+	// Waiting times must come from the seeded generator too: same seed ⇒
+	// identical steps, identical simulated time (bit-for-bit), identical
+	// final configuration.
+	start := maxCRN().MustInitialConfig(vec.New(30, 27))
+	a := Gillespie(start, WithSeed(99))
+	b := Gillespie(start, WithSeed(99))
+	if a.Steps != b.Steps {
+		t.Fatalf("steps %d != %d", a.Steps, b.Steps)
+	}
+	if a.Time != b.Time {
+		t.Fatalf("time %v != %v", a.Time, b.Time)
+	}
+	if a.Final.Key() != b.Final.Key() {
+		t.Fatalf("final %s != %s", a.Final, b.Final)
+	}
+	if a.Time <= 0 {
+		t.Fatal("time did not advance")
+	}
+	// And a different seed takes a different trajectory (overwhelmingly).
+	c := Gillespie(start, WithSeed(100))
+	if a.Steps == c.Steps && a.Time == c.Time {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestPropensityDependencyGraphSound(t *testing.T) {
+	// For every reaction ri and every reaction rj NOT in deps[ri], firing ri
+	// must leave rj's propensity unchanged — the property that makes the
+	// incremental maintenance in Gillespie exact.
+	for name, c := range map[string]*crn.CRN{"min": minCRN(), "max": maxCRN()} {
+		cs := compileSim(c)
+		nR := c.NumReactions()
+		cfgs := []vec.V{vec.New(5, 3), vec.New(1, 1), vec.New(0, 4)}
+		for _, x := range cfgs {
+			cfg := c.MustInitialConfig(x)
+			// Walk a few steps to hit non-initial configurations too.
+			for step := 0; step < 8; step++ {
+				counts := cfg.CountsRef()
+				for ri := 0; ri < nR; ri++ {
+					if !c.ApplicableAt(counts, ri) {
+						continue
+					}
+					after := make([]int64, len(counts))
+					c.ApplyInto(after, counts, ri)
+					for rj := 0; rj < nR; rj++ {
+						inDeps := false
+						for _, d := range cs.deps[ri] {
+							if int(d) == rj {
+								inDeps = true
+								break
+							}
+						}
+						if inDeps {
+							continue
+						}
+						before := cs.propensityAt(counts, rj)
+						got := cs.propensityAt(after, rj)
+						if before != got {
+							t.Fatalf("%s x=%v: firing %d changed propensity of %d (%v→%v) but %d ∉ deps[%d]=%v",
+								name, x, ri, rj, before, got, rj, ri, cs.deps[ri])
+						}
+					}
+				}
+				app := cfg.ApplicableReactions(nil)
+				if len(app) == 0 {
+					break
+				}
+				cfg.ApplyInPlace(app[step%len(app)])
+			}
+		}
+	}
+}
+
+func TestGillespieMergedDuplicateReactantTerms(t *testing.T) {
+	// A species listed twice among the reactants must behave like one term
+	// with the summed coefficient: 2 distinct X needed, propensity C(n,2).
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}, {Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "Y"}}},
+	})
+	if p := propensity(c.MustInitialConfig(vec.New(1)), 0); p != 0 {
+		t.Errorf("propensity with 1 copy = %v, want 0", p)
+	}
+	if p := propensity(c.MustInitialConfig(vec.New(4)), 0); p != 6 {
+		t.Errorf("propensity with 4 copies = %v, want C(4,2) = 6", p)
+	}
+	r := Gillespie(c.MustInitialConfig(vec.New(5)), WithSeed(1))
+	if !r.Converged || r.Final.Output() != 2 {
+		t.Fatalf("2X→Y from 5 X: %+v", r)
+	}
+}

@@ -174,3 +174,25 @@ func TestStringFormat(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestHashShard(t *testing.T) {
+	// Shard selection uses the top bits, probe position the low bits: the
+	// shard index must always be in range, 0 bits must collapse to shard 0,
+	// and a spread of hashes must touch many shards (top bits avalanche).
+	if HashShard(0xFFFFFFFFFFFFFFFF, 0) != 0 {
+		t.Error("0 bits must map to shard 0")
+	}
+	const bits = 7
+	seen := make(map[uint64]bool)
+	for x := int64(0); x < 2000; x++ {
+		h := Hash64([]int64{x, x ^ 3, -x})
+		s := HashShard(h, bits)
+		if s >= 1<<bits {
+			t.Fatalf("shard %d out of range for %d bits", s, bits)
+		}
+		seen[s] = true
+	}
+	if len(seen) < (1<<bits)*3/4 {
+		t.Errorf("2000 hashes hit only %d/%d shards — top bits poorly mixed", len(seen), 1<<bits)
+	}
+}
