@@ -152,6 +152,20 @@ func reachSuite(quick bool) suiteReport {
 		})
 		rep.Benchmarks = append(rep.Benchmarks, toRecord(name, r))
 	}
+	// The fig4a 2×2 grid is itself the paper-shaped skewed workload: x=(1,1)
+	// explores ~87k configurations while the axis inputs are trivial, so the
+	// pool's tail-latency behavior shows up as the grid's wall-clock ratio
+	// to the large input checked alone at the same total worker budget.
+	aloneFig := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := reach.CheckInput(root, f.Eval(vec.New(1, 1)), reach.WithMaxConfigs(budget), reach.WithWorkers(0))
+			if v.Explored == 0 {
+				b.Fatal("explored nothing")
+			}
+		}
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord("checkinput_fig4a_x11_alone_workers0", aloneFig))
 	hi := int64(1)
 	for _, workers := range []int{1, 0} {
 		name := fmt.Sprintf("checkgrid_fig4a_2x2_workers%d", workers)
@@ -170,9 +184,66 @@ func reachSuite(quick bool) suiteReport {
 				}
 			}
 		})
-		rep.Benchmarks = append(rep.Benchmarks, toRecord(name, r))
+		rec := toRecord(name, r)
+		if workers == 0 {
+			rec.Extra = withExtra(rec.Extra, "vs_large_alone", rec.NsPerOp/float64(aloneFig.NsPerOp()))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rec)
 	}
+	rep.Benchmarks = append(rep.Benchmarks, skewGridBenchmarks(quick)...)
 	return rep
+}
+
+// skewGridBenchmarks measures the synthetic 1-large-among-N-small grid
+// (benchcrn.SkewGrid): N trivial inputs plus one input whose state space is
+// 2^m configurations. With the shared work-stealing pool the grid's
+// wall-clock should stay within 1.5× of checking the large input alone at
+// the same total worker budget — workers that finish the trivial inputs
+// migrate into the straggler instead of idling.
+func skewGridBenchmarks(quick bool) []record {
+	thr, m := int64(20), 16
+	if quick {
+		thr, m = 12, 10
+	}
+	skew := benchcrn.SkewGrid(thr, m)
+	skewRoot := skew.MustInitialConfig(vec.New(thr))
+	zero := func(x []int64) int64 { return 0 }
+	alone := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := reach.CheckInput(skewRoot, 0, reach.WithWorkers(0))
+			if !v.OK {
+				b.Fatalf("skew large input refuted: %+v", v)
+			}
+		}
+	})
+	out := []record{toRecord(fmt.Sprintf("checkinput_skewgrid_m%d_large_alone_workers0", m), alone)}
+	for _, workers := range []int{1, 0} {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := reach.CheckGrid(skew, zero, []int64{0}, []int64{thr}, reach.WithWorkers(workers))
+				if err != nil || !res.OK() {
+					b.Fatalf("%v %v", err, res)
+				}
+			}
+		})
+		rec := toRecord(fmt.Sprintf("checkgrid_skewgrid_1large_%dsmall_workers%d", thr, workers), r)
+		if workers == 0 {
+			rec.Extra = withExtra(rec.Extra, "vs_large_alone", rec.NsPerOp/float64(alone.NsPerOp()))
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// withExtra sets key in the (possibly nil) extra-metric map.
+func withExtra(extra map[string]float64, key string, v float64) map[string]float64 {
+	if extra == nil {
+		extra = make(map[string]float64)
+	}
+	extra[key] = v
+	return extra
 }
 
 func simSuite(quick bool) suiteReport {
@@ -205,6 +276,27 @@ func simSuite(quick bool) suiteReport {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
 	})
 	rep.Benchmarks = append(rep.Benchmarks, toRecord("gillespie_ring128_full_recompute_baseline", r))
+
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			res := sim.FairRandom(ringStart, sim.WithSeed(uint64(i)+1), sim.WithMaxSteps(steps))
+			fired += res.Steps
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord("fairrandom_ring128_incremental", r))
+
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			fired += benchcrn.FairRandomFullWalk(ringStart, steps, uint64(i)+1)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord("fairrandom_ring128_full_walk_baseline", r))
 
 	start := benchcrn.Max().MustInitialConfig(vec.New(n, n))
 	r = testing.Benchmark(func(b *testing.B) {

@@ -3,6 +3,13 @@
 // that a CRN stably computes a library function on a grid of inputs, and
 // reports output-obliviousness and output-monotonicity.
 //
+// -workers sizes one shared work-stealing pool spanning both parallelism
+// levels: workers check independent grid inputs while any remain, then
+// migrate into the still-running explorations (stealing frontier slices),
+// so skewed grids keep every core busy through the tail. Results — counts,
+// the first failing input, its witness schedule — are byte-identical at
+// every worker count and steal schedule.
+//
 // Usage:
 //
 //	crncheck -crn min.crn -f min -lo 0 -hi 5
@@ -36,7 +43,7 @@ func run(args []string, out io.Writer) error {
 		lo         = fs.Int64("lo", 0, "grid lower bound per coordinate")
 		hi         = fs.Int64("hi", 3, "grid upper bound per coordinate")
 		maxConfigs = fs.Int("maxconfigs", 1<<20, "reachability budget per input")
-		workers    = fs.Int("workers", 0, "total worker budget, split between parallel grid inputs and parallel exploration within each input (0 = all CPUs, 1 = sequential)")
+		workers    = fs.Int("workers", 0, "size of the shared work-stealing pool: workers check grid inputs concurrently and migrate into still-running explorations as inputs finish (0 = all CPUs, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

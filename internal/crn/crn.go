@@ -8,6 +8,7 @@ package crn
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -98,6 +99,9 @@ type CRN struct {
 	species   []Species          // sorted species universe (lazily built)
 	index     map[Species]int    // species -> dense index
 	compiled  []compiledReaction // dense form for fast simulation
+
+	depsOnce   sync.Once // guards the lazy dependency graph build
+	dependents [][]int32 // reaction → reactions whose applicability it can change
 }
 
 type compiledReaction struct {
@@ -272,6 +276,38 @@ func (c *CRN) ReactantsAt(ri int) []IdxCoeff {
 func (c *CRN) DeltaAt(ri int) []IdxCoeff {
 	c.buildIndex()
 	return c.compiled[ri].delta
+}
+
+// DependentsAt returns the indices of the reactions whose applicability or
+// mass-action propensity can change when reaction ri fires: those consuming
+// a species in ri's net change. The list is sorted ascending and
+// deduplicated, built lazily once per CRN (the same sync.Once discipline as
+// the species index) and shared — callers must not mutate it. It is the
+// single source of truth for incremental propensity and applicable-set
+// maintenance in the simulator.
+func (c *CRN) DependentsAt(ri int) []int32 {
+	c.buildIndex()
+	c.depsOnce.Do(c.buildDependents)
+	return c.dependents[ri]
+}
+
+func (c *CRN) buildDependents() {
+	nR := len(c.Reactions)
+	consumers := make([][]int32, len(c.species))
+	for ri := 0; ri < nR; ri++ {
+		for _, t := range c.compiled[ri].reactants {
+			consumers[t.Idx] = append(consumers[t.Idx], int32(ri))
+		}
+	}
+	c.dependents = make([][]int32, nR)
+	for ri := 0; ri < nR; ri++ {
+		var deps []int32
+		for _, d := range c.compiled[ri].delta {
+			deps = append(deps, consumers[d.Idx]...)
+		}
+		slices.Sort(deps)
+		c.dependents[ri] = slices.Compact(deps)
+	}
 }
 
 // IsOutputOblivious reports whether the output species never appears as a

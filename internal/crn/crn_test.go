@@ -1,6 +1,7 @@
 package crn
 
 import (
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -289,5 +290,45 @@ func TestConcurrentLazyIndexBuild(t *testing.T) {
 	}
 	if c.NumSpecies() != 4 {
 		t.Fatalf("species universe = %d, want 4", c.NumSpecies())
+	}
+}
+
+func TestDependentsAtSoundAndMemoized(t *testing.T) {
+	// DependentsAt(ri) must list exactly the reactions whose applicability
+	// can change when ri fires: those consuming a species ri's delta touches.
+	c := MustNew([]Species{"X1", "X2"}, "Y", "", []Reaction{
+		{Reactants: []Term{{Coeff: 1, Sp: "X1"}}, Products: []Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []Term{{Coeff: 1, Sp: "X2"}}, Products: []Term{{Coeff: 1, Sp: "Z2"}, {Coeff: 1, Sp: "Y"}}},
+		{Reactants: []Term{{Coeff: 1, Sp: "Z1"}, {Coeff: 1, Sp: "Z2"}}, Products: []Term{{Coeff: 1, Sp: "K"}}},
+		{Reactants: []Term{{Coeff: 1, Sp: "K"}, {Coeff: 1, Sp: "Y"}}, Products: nil},
+	})
+	for ri := 0; ri < c.NumReactions(); ri++ {
+		var want []int32
+		for rj := 0; rj < c.NumReactions(); rj++ {
+			overlaps := false
+			for _, d := range c.DeltaAt(ri) {
+				for _, rc := range c.ReactantsAt(rj) {
+					if d.Idx == rc.Idx {
+						overlaps = true
+					}
+				}
+			}
+			if overlaps {
+				want = append(want, int32(rj))
+			}
+		}
+		got := c.DependentsAt(ri)
+		if !slices.Equal(got, want) {
+			t.Errorf("DependentsAt(%d) = %v, want %v", ri, got, want)
+		}
+		if !slices.IsSorted(got) {
+			t.Errorf("DependentsAt(%d) not sorted: %v", ri, got)
+		}
+	}
+	// The graph is built once and shared: repeated calls return the same
+	// backing array (sync.Once memoization, not a rebuild).
+	a, b := c.DependentsAt(2), c.DependentsAt(2)
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Error("DependentsAt rebuilt its result instead of returning the memoized table")
 	}
 }

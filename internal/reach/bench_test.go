@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"crncompose/internal/benchcrn"
 	"crncompose/internal/classify"
 	"crncompose/internal/crn"
 	"crncompose/internal/reach"
@@ -218,3 +219,39 @@ func benchCheckGrid(b *testing.B, workers int) {
 func BenchmarkCheckGridFig4aSequential(b *testing.B) { benchCheckGrid(b, 1) }
 
 func BenchmarkCheckGridFig4aParallel(b *testing.B) { benchCheckGrid(b, 0) }
+
+// BenchmarkCheckGridSkew measures the tail-latency shape the shared
+// work-stealing pool targets: a grid of one 2^14-configuration straggler
+// among 20 trivial inputs (benchcrn.SkewGrid), against checking the
+// straggler alone at the same total worker budget. With the pool, grid and
+// alone should be within ~1.5× of each other on multi-core hardware;
+// the old static outer × inner split left the tail on a single worker.
+func BenchmarkCheckGridSkew(b *testing.B) {
+	const thr, m = 20, 14
+	skew := benchcrn.SkewGrid(thr, m)
+	zero := func(x []int64) int64 { return 0 }
+	root := skew.MustInitialConfig(vec.New(thr))
+	b.Run("grid-seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := reach.CheckGrid(skew, zero, []int64{0}, []int64{thr}, reach.WithWorkers(1))
+			if err != nil || !res.OK() {
+				b.Fatalf("%v %v", err, res)
+			}
+		}
+	})
+	b.Run("grid-pool", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := reach.CheckGrid(skew, zero, []int64{0}, []int64{thr}, reach.WithWorkers(runtime.NumCPU()))
+			if err != nil || !res.OK() {
+				b.Fatalf("%v %v", err, res)
+			}
+		}
+	})
+	b.Run("large-alone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if v := reach.CheckInput(root, 0, reach.WithWorkers(runtime.NumCPU())); !v.OK {
+				b.Fatalf("%+v", v)
+			}
+		}
+	})
+}

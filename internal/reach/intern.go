@@ -143,9 +143,13 @@ func (a *chunkedArena) growTo(ci int) [][]int64 {
 // shardedInterner deduplicates rows across concurrent workers. The table is
 // sharded by the top bits of the row hash (vec.HashShard); each shard is an
 // independently locked open-addressing table, so workers interning rows with
-// different hash prefixes never contend. Row ids are claimed from one atomic
-// counter: they are dense, but their order reflects goroutine scheduling —
-// the parallel explorer renumbers them deterministically afterwards.
+// different hash prefixes never contend. Shards are owned by whichever
+// goroutine holds their lock at that instant — there is no per-worker state
+// and no assumption of a fixed worker set, so pool workers may join or
+// leave an exploration mid-level (work stealing) without any handoff. Row
+// ids are claimed from one atomic counter: they are dense, but their order
+// reflects goroutine scheduling — the parallel explorer renumbers them
+// deterministically afterwards.
 type shardedInterner struct {
 	d      int
 	arena  *chunkedArena
@@ -170,7 +174,11 @@ type internEntry struct {
 
 func newShardedInterner(d int) *shardedInterner {
 	t := &shardedInterner{d: d, arena: newChunkedArena(d)}
-	const initialSlots = 64
+	// Shards start tiny: with the steal pool every pooled grid input gets a
+	// sharded interner, including inputs whose whole state space is a few
+	// dozen rows, so the empty table must be cheap. Per-shard doubling
+	// amortizes growth for the big explorations.
+	const initialSlots = 16
 	for i := range t.shards {
 		t.shards[i].entries = make([]internEntry, initialSlots)
 		t.shards[i].mask = initialSlots - 1

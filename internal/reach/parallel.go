@@ -25,6 +25,14 @@ import (
 //     engine would. This renumbering makes every output array — arena rows,
 //     CSR edges, BFS parents — independent of scheduling.
 //
+// The set of workers expanding a level is dynamic: each level is published
+// to a stealPool as a levelTask, the exploration's owner always works on it,
+// and any idle pool worker may join mid-level and leave when the claim
+// cursor runs out. Because a node's expansion record depends only on the
+// node itself, joining and leaving workers — at any moment, in any
+// combination — cannot change the records, only who computed them; the
+// replay then erases the one thing scheduling does affect (provisional ids).
+//
 // Nodes interned during a level that the budget cut then discards are
 // dropped by the renumbering (they simply never receive a canonical id), so
 // budget-truncated graphs are also byte-identical to the sequential engine's.
@@ -42,7 +50,131 @@ type levelResult struct {
 	overflow bool // some successor exceeded MaxCount and was skipped
 }
 
+const (
+	// stealMinFrontier is the smallest frontier published for stealing;
+	// below it the owner expands inline without touching the pool.
+	stealMinFrontier = 32
+	// stealBatchDiv divides the frontier into claim batches so a late
+	// joiner still finds work (capped at maxStealBatch nodes).
+	stealBatchDiv = 32
+	maxStealBatch = 256
+)
+
+// levelTask is one level's expansion, shared between its owner and any pool
+// workers that steal into it. Claiming is a single atomic cursor over the
+// frontier; results[j] is written by exactly one claimant.
+type levelTask struct {
+	c        *crn.CRN
+	in       *shardedInterner
+	frontier []int32
+	results  []levelResult
+	nR       int
+	maxCount int64
+	batch    int64
+	next     atomic.Int64  // claim cursor over frontier
+	done     atomic.Int64  // completed frontier nodes
+	finished chan struct{} // closed when done == len(frontier); nil if unpublished
+}
+
+// unclaimed reports whether frontier nodes remain to claim.
+func (t *levelTask) unclaimed() bool { return t.next.Load() < int64(len(t.frontier)) }
+
+// work claims batches of frontier nodes and expands them until the cursor
+// is exhausted. Safe for any number of concurrent callers.
+func (t *levelTask) work() {
+	d := t.in.d
+	scratch := make([]int64, d)
+	// Edge records append into a worker-local buffer; per-node slices are
+	// capped views into it. Capacity is topped up between nodes so one
+	// node's edges never straddle a reallocation.
+	var buf []levelEdge
+	n := int64(len(t.frontier))
+	for {
+		if testStealJitter != nil {
+			testStealJitter()
+		}
+		start := t.next.Add(t.batch) - t.batch
+		if start >= n {
+			return
+		}
+		end := min(start+t.batch, n)
+		for j := start; j < end; j++ {
+			row := t.in.arena.row(t.frontier[j])
+			if cap(buf)-len(buf) < t.nR {
+				buf = make([]levelEdge, 0, max(1024, 4*t.nR))
+			}
+			first := len(buf)
+			for ri := 0; ri < t.nR; ri++ {
+				if !t.c.ApplicableAt(row, ri) {
+					continue
+				}
+				t.c.ApplyInto(scratch, row, ri)
+				if vec.V(scratch).MaxComponent() > t.maxCount {
+					t.results[j].overflow = true
+					continue
+				}
+				pid, _ := t.in.lookupOrAdd(scratch, vec.Hash64(scratch))
+				buf = append(buf, levelEdge{pid: pid, ri: int32(ri)})
+			}
+			t.results[j].edges = buf[first:len(buf):len(buf)]
+		}
+		if t.finished != nil && t.done.Add(end-start) == n {
+			close(t.finished)
+		}
+	}
+}
+
+// expandLevel expands every frontier node. With a pool attached and a
+// frontier large enough to amortize the coordination, the level is published
+// so idle pool workers can claim slices alongside the owner; the owner
+// always participates and blocks until every claimed slice is complete.
+func expandLevel(c *crn.CRN, in *shardedInterner, frontier []int32, nR int, o Options, pool *stealPool) []levelResult {
+	t := &levelTask{
+		c: c, in: in, frontier: frontier,
+		results:  make([]levelResult, len(frontier)),
+		nR:       nR,
+		maxCount: o.MaxCount,
+	}
+	if pool == nil || len(frontier) < stealMinFrontier {
+		t.batch = int64(len(frontier))
+		t.work()
+		return t.results
+	}
+	t.batch = int64(max(1, min(maxStealBatch, len(frontier)/stealBatchDiv)))
+	t.finished = make(chan struct{})
+	pool.publish(t)
+	t.work()
+	<-t.finished
+	pool.retract(t)
+	return t.results
+}
+
+// exploreParallel runs a standalone parallel exploration: a private pool
+// whose o.Workers-1 helpers drain level tasks while the calling goroutine
+// owns the exploration.
 func exploreParallel(root crn.Config, o Options) *Graph {
+	pool := newStealPool()
+	pool.addOwner()
+	var wg sync.WaitGroup
+	for w := 1; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.drain()
+		}()
+	}
+	g := explorePooled(root, o, pool)
+	pool.dropOwner()
+	wg.Wait()
+	return g
+}
+
+// explorePooled is the renumbering engine: it enumerates the reachable
+// configurations level-synchronized, expanding each level with the help of
+// whatever pool workers are idle, and replays every level sequentially into
+// canonical ids. The caller must hold an owner registration on pool for the
+// duration of the call.
+func explorePooled(root crn.Config, o Options, pool *stealPool) *Graph {
 	c := root.CRN()
 	d := c.NumSpecies() // also forces the CRN index build before workers start
 	g := &Graph{CRN: c, Complete: true, d: d, outIdx: c.OutputIndex()}
@@ -74,7 +206,7 @@ func exploreParallel(root crn.Config, o Options) *Graph {
 			g.Complete = false
 			break
 		}
-		results := expandLevel(c, in, frontier, nR, o)
+		results := expandLevel(c, in, frontier, nR, o, pool)
 		for len(canon) < in.n() {
 			canon = append(canon, -1)
 		}
@@ -122,68 +254,4 @@ func exploreParallel(root crn.Config, o Options) *Graph {
 	}
 	g.buildPred()
 	return g
-}
-
-// expandLevel expands every frontier node, in parallel when the level is
-// large enough to amortize goroutine startup. results[j] depends only on
-// frontier[j]'s row, so the records are identical however the work lands on
-// workers; only provisional successor ids differ, and the caller's
-// renumbering erases that.
-func expandLevel(c *crn.CRN, in *shardedInterner, frontier []int32, nR int, o Options) []levelResult {
-	results := make([]levelResult, len(frontier))
-	workers := o.Workers
-	if len(frontier) < 4*workers {
-		workers = 1
-	}
-	var next atomic.Int64
-	if workers <= 1 {
-		expandWorker(c, in, frontier, results, &next, len(frontier), nR, o.MaxCount)
-		return results
-	}
-	batch := max(1, min(256, len(frontier)/(8*workers)))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			expandWorker(c, in, frontier, results, &next, batch, nR, o.MaxCount)
-		}()
-	}
-	wg.Wait()
-	return results
-}
-
-func expandWorker(c *crn.CRN, in *shardedInterner, frontier []int32, results []levelResult, next *atomic.Int64, batch, nR int, maxCount int64) {
-	d := in.d
-	scratch := make([]int64, d)
-	// Edge records append into a worker-local buffer; per-node slices are
-	// capped views into it. Capacity is topped up between nodes so one
-	// node's edges never straddle a reallocation.
-	var buf []levelEdge
-	for {
-		start := int(next.Add(int64(batch))) - batch
-		if start >= len(frontier) {
-			return
-		}
-		for j := start; j < min(start+batch, len(frontier)); j++ {
-			row := in.arena.row(frontier[j])
-			if cap(buf)-len(buf) < nR {
-				buf = make([]levelEdge, 0, max(1024, 4*nR))
-			}
-			first := len(buf)
-			for ri := 0; ri < nR; ri++ {
-				if !c.ApplicableAt(row, ri) {
-					continue
-				}
-				c.ApplyInto(scratch, row, ri)
-				if vec.V(scratch).MaxComponent() > maxCount {
-					results[j].overflow = true
-					continue
-				}
-				pid, _ := in.lookupOrAdd(scratch, vec.Hash64(scratch))
-				buf = append(buf, levelEdge{pid: pid, ri: int32(ri)})
-			}
-			results[j].edges = buf[first:len(buf):len(buf)]
-		}
-	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"crncompose/internal/benchcrn"
 	"crncompose/internal/crn"
 	"crncompose/internal/vec"
 )
@@ -40,20 +41,24 @@ func requireGraphsIdentical(t *testing.T, seq, par *Graph) {
 	}
 }
 
-// branchyCRN has interleaving independent reactions, so BFS levels get wide
-// enough to exercise multi-worker expansion and cross-parent rediscovery.
-func branchyCRN() *crn.CRN {
-	return crn.MustNew([]crn.Species{"X1", "X2"}, "Y", "L", []crn.Reaction{
-		{Reactants: []crn.Term{{Coeff: 1, Sp: "X1"}}, Products: []crn.Term{{Coeff: 1, Sp: "A"}, {Coeff: 1, Sp: "Y"}}},
-		{Reactants: []crn.Term{{Coeff: 1, Sp: "X2"}}, Products: []crn.Term{{Coeff: 1, Sp: "B"}, {Coeff: 1, Sp: "Y"}}},
-		{Reactants: []crn.Term{{Coeff: 1, Sp: "A"}, {Coeff: 1, Sp: "B"}}, Products: []crn.Term{{Coeff: 1, Sp: "K"}}},
-		{Reactants: []crn.Term{{Coeff: 1, Sp: "K"}, {Coeff: 1, Sp: "Y"}}, Products: nil},
-		{Reactants: []crn.Term{{Coeff: 1, Sp: "L"}, {Coeff: 1, Sp: "A"}}, Products: []crn.Term{{Coeff: 1, Sp: "L"}, {Coeff: 1, Sp: "C"}}},
-		{Reactants: []crn.Term{{Coeff: 1, Sp: "C"}}, Products: []crn.Term{{Coeff: 1, Sp: "A"}}},
-	})
+// withoutSmallProbe disables the sequential small-state-space probe for the
+// duration of the test, forcing the renumbering engine to run even on small
+// graphs — which is the whole point of the byte-identity tests below.
+func withoutSmallProbe(t *testing.T) {
+	t.Helper()
+	old := smallProbeBudget
+	smallProbeBudget = 0
+	t.Cleanup(func() { smallProbeBudget = old })
 }
 
+// branchyCRN (benchcrn.Branchy) has interleaving independent reactions, so
+// BFS levels get wide enough to exercise multi-worker expansion and
+// cross-parent rediscovery; it also stably computes max(x1, x2), which the
+// steal-schedule grid tests (pool_test.go) rely on.
+func branchyCRN() *crn.CRN { return benchcrn.Branchy() }
+
 func TestExploreParallelByteIdentical(t *testing.T) {
+	withoutSmallProbe(t)
 	cases := []struct {
 		name string
 		root crn.Config
@@ -90,6 +95,7 @@ func growerCRN() *crn.CRN {
 }
 
 func TestCheckInputParallelWitnessIdentical(t *testing.T) {
+	withoutSmallProbe(t)
 	// A refuted check must report the identical error and witness trace at
 	// any worker count (the witness is extracted from graph ids, so this is
 	// the end-to-end consequence of byte-identity).
@@ -205,6 +211,7 @@ func TestChunkedArenaRowsStableAcrossGrowth(t *testing.T) {
 }
 
 func TestExploreWorkerSweepAgainstBaseline(t *testing.T) {
+	withoutSmallProbe(t)
 	// Cross-check a mid-size graph across a sweep of worker counts and
 	// verify invariants hold on the parallel output too (via-edge replay).
 	root := branchyCRN().MustInitialConfig(vec.New(4, 6))
@@ -224,9 +231,10 @@ func TestExploreWorkerSweepAgainstBaseline(t *testing.T) {
 	}
 }
 
-func TestCheckGridSplitsWorkerBudget(t *testing.T) {
-	// A one-input grid with a large budget must still verify correctly (the
-	// whole budget goes to inner exploration), as must a wide grid.
+func TestCheckGridPoolWidthExtremes(t *testing.T) {
+	// A one-input grid with a large worker budget must still verify
+	// correctly (every pool worker migrates into the single exploration),
+	// as must a grid wide enough that workers stay on whole inputs.
 	for _, bounds := range [][2]int64{{0, 0}, {0, 3}} {
 		res, err := CheckGrid(minCRN(), func(x []int64) int64 { return min(x[0], x[1]) },
 			[]int64{bounds[0], bounds[0]}, []int64{bounds[1], bounds[1]}, WithWorkers(8))
@@ -241,6 +249,7 @@ func TestCheckGridSplitsWorkerBudget(t *testing.T) {
 }
 
 func TestExploreParallelLargeGridEquivalence(t *testing.T) {
+	withoutSmallProbe(t)
 	if testing.Short() {
 		t.Skip("large equivalence sweep skipped in -short")
 	}
@@ -256,6 +265,7 @@ func TestExploreParallelLargeGridEquivalence(t *testing.T) {
 }
 
 func TestExploreBudgetSweepByteIdentical(t *testing.T) {
+	withoutSmallProbe(t)
 	// Every budget value from 0 to the full graph size must cut at the same
 	// boundary in both engines — this pins the exact mid-level truncation
 	// semantics, not just the easy full-graph case.

@@ -24,24 +24,26 @@
 // offsets), with predecessor CSR derived in a second pass.
 //
 // Parallelism exists at both levels under one worker budget (WithWorkers,
-// default runtime.NumCPU). CheckGrid fans independent grid inputs out across
-// a bounded pool, and a single input's exploration itself runs
-// level-synchronized parallel BFS: the intern table is sharded by hash
+// default runtime.NumCPU) served by a single shared work-stealing pool
+// (pool.go). CheckGrid's workers claim whole grid inputs while any remain —
+// the embarrassingly parallel outer level — and, as inputs run dry, migrate
+// into the still-running explorations by stealing frontier slices of the
+// level being expanded, so a skewed grid (one huge input among many small
+// ones) keeps every core busy through the tail. A single input's exploration
+// runs level-synchronized parallel BFS: the intern table is sharded by hash
 // prefix so workers dedup without a global lock, the arena grows in
 // fixed-size chunks so readers never see a moved backing array, and a
 // per-level renumbering pass (see parallel.go) makes the resulting Graph
-// byte-identical to the sequential engine's. Failure reporting is therefore
-// fully deterministic: the reported failure is always the first failing
-// input in grid order, with the same witness trace at any worker count.
+// byte-identical to the sequential engine's at any worker count and any
+// steal schedule. Failure reporting is therefore fully deterministic: the
+// reported failure is always the first failing input in grid order, with
+// the same witness trace at any worker count.
 package reach
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
-	"slices"
-	"sync"
-	"sync/atomic"
 
 	"crncompose/internal/crn"
 	"crncompose/internal/vec"
@@ -54,12 +56,14 @@ type Options struct {
 	// MaxCount caps any single species count; exceeding it marks the run
 	// inconclusive (the CRN may have unbounded reachable counts).
 	MaxCount int64
-	// Workers is the total goroutine budget. CheckGrid splits it between
-	// concurrent grid inputs and, when inputs are scarcer than workers,
-	// parallel exploration inside each input, so outer × inner never
-	// oversubscribes it. A bare Explore/CheckInput spends the whole budget
-	// on one state space. Values < 1 mean runtime.NumCPU(); 1 forces the
-	// sequential engine. Results are byte-identical at every setting.
+	// Workers is the total goroutine budget, served by one shared
+	// work-stealing pool. CheckGrid's workers check independent grid inputs
+	// while any remain and then migrate into still-running explorations,
+	// stealing frontier slices, so the budget is never oversubscribed and
+	// never idles at a chunk barrier. A bare Explore/CheckInput spends the
+	// whole budget on one state space. Values < 1 mean runtime.NumCPU();
+	// 1 forces the sequential engine. Results are byte-identical at every
+	// setting and every steal schedule.
 	Workers int
 }
 
@@ -72,9 +76,10 @@ func WithMaxConfigs(n int) Option { return func(o *Options) { o.MaxConfigs = n }
 // WithMaxCount sets the per-species count cap.
 func WithMaxCount(n int64) Option { return func(o *Options) { o.MaxCount = n } }
 
-// WithWorkers sets the total worker budget shared by grid-level and
-// exploration-level parallelism (see Options.Workers). n < 1 selects
-// runtime.NumCPU(); n == 1 forces fully sequential checking.
+// WithWorkers sets the total worker budget of the shared work-stealing pool
+// serving grid-level and exploration-level parallelism (see
+// Options.Workers). n < 1 selects runtime.NumCPU(); n == 1 forces fully
+// sequential checking.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
 func buildOptions(opts []Option) Options {
@@ -160,11 +165,60 @@ func (g *Graph) ParentVia(id int32) int32 { return g.parentVia[id] }
 // Graph is byte-identical to the sequential engine's, so verdicts, witness
 // traces, and ids never depend on the worker count.
 func Explore(root crn.Config, opts ...Option) *Graph {
-	o := buildOptions(opts)
-	if o.Workers > 1 {
-		return exploreParallel(root, o)
+	return explore(root, buildOptions(opts), nil)
+}
+
+// explore dispatches to the right engine: the caller's shared steal pool
+// when one is attached (grid checking), a private pool when the budget
+// allows (standalone parallel exploration), the sequential engine otherwise.
+func explore(root crn.Config, o Options, pool *stealPool) *Graph {
+	if o.Workers > 1 || pool != nil {
+		// Trivial state spaces (grid axis points, dead ends, small roots)
+		// are probed sequentially first so they skip the parallel engines'
+		// fixed setup — sharded interner, arena chunk, helper goroutines.
+		if g := exploreSmallProbe(root, o); g != nil {
+			return g
+		}
 	}
-	return exploreSeq(root, o)
+	switch {
+	case pool != nil:
+		return explorePooled(root, o, pool)
+	case o.Workers > 1:
+		return exploreParallel(root, o)
+	default:
+		return exploreSeq(root, o)
+	}
+}
+
+// smallProbeBudget bounds the sequential probe run before a parallel or
+// pooled exploration. Re-exploring this many configurations on a probe miss
+// costs microseconds, while a probe hit saves the parallel engines' fixed
+// setup (128 shard tables plus the first arena chunk) for every trivial
+// input. A variable so the engine byte-identity tests can force the
+// renumbering engine onto small graphs; 0 disables the probe.
+var smallProbeBudget = 512
+
+// exploreSmallProbe runs the sequential engine under the probe budget and
+// returns its graph when that budget was not the binding constraint — the
+// sequential head loop stops only when the interned count exceeds the
+// budget, so a result with NumConfigs ≤ probe is exactly the graph any
+// engine would produce under o (including MaxCount skips, which don't stop
+// enumeration). Returns nil when the state space outgrew the probe and a
+// parallel engine should take over; byte-identity between the engines makes
+// the substitution invisible.
+func exploreSmallProbe(root crn.Config, o Options) *Graph {
+	if smallProbeBudget <= 0 {
+		return nil
+	}
+	if o.MaxConfigs <= smallProbeBudget {
+		return exploreSeq(root, o) // the probe budget is the real budget
+	}
+	p := o
+	p.MaxConfigs = smallProbeBudget
+	if g := exploreSeq(root, p); g.NumConfigs() <= smallProbeBudget {
+		return g
+	}
+	return nil
 }
 
 // exploreSeq is the single-threaded engine: a FIFO BFS interning rows into
@@ -338,7 +392,13 @@ type Verdict struct {
 // given initial configuration. It implements the literal Section 2.2
 // definition on the bounded reachability graph.
 func CheckInput(root crn.Config, want int64, opts ...Option) Verdict {
-	g := Explore(root, opts...)
+	return checkInput(root, want, buildOptions(opts), nil)
+}
+
+// checkInput runs the stable-computation check on the given engine options,
+// exploring on the caller's shared steal pool when one is attached.
+func checkInput(root crn.Config, want int64, o Options, pool *stealPool) Verdict {
+	g := explore(root, o, pool)
 	if !g.Complete {
 		return Verdict{Inconclusive: true, Explored: g.NumConfigs(), Err: ErrBudget}
 	}
@@ -425,13 +485,16 @@ type gridJob struct {
 // It returns the first failing verdict (in lexicographic grid order)
 // together with the offending input, or an all-OK summary.
 //
-// Independent inputs are checked concurrently on a worker pool (see
-// WithWorkers). The grid is enumerated lazily in bounded chunks, so memory
-// stays O(workers) regardless of grid size and a failure in an early chunk
-// stops the run without evaluating f on the rest of the grid. f is only
-// invoked from the calling goroutine, so it need not be safe for concurrent
-// use. Results are deterministic: concurrency never changes which failure is
-// reported or the counts for inputs preceding it.
+// Independent inputs are checked concurrently on a shared work-stealing
+// pool (see WithWorkers): workers claim whole inputs while any remain, then
+// migrate into the still-running explorations instead of idling, so skewed
+// grids keep every worker busy through the tail. The grid is enumerated
+// lazily in bounded chunks, so memory stays O(workers) regardless of grid
+// size and a failure in an early chunk stops the run without evaluating f on
+// the rest of the grid. f is only invoked from the calling goroutine, so it
+// need not be safe for concurrent use. Results are deterministic:
+// concurrency never changes which failure is reported or the counts for
+// inputs preceding it.
 func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, error) {
 	if len(lo) != c.Dim() || len(hi) != c.Dim() {
 		return GridResult{}, fmt.Errorf("reach: grid arity %d/%d does not match CRN arity %d", len(lo), len(hi), c.Dim())
@@ -480,7 +543,7 @@ func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, 
 	chunkSize := max(64, 8*o.Workers)
 	for {
 		jobs := nextChunk(chunkSize)
-		verdicts := runGridJobs(jobs, o, opts)
+		verdicts := runGridJobs(jobs, o)
 		for i := range jobs {
 			v := verdicts[i]
 			res.Checked++
@@ -496,66 +559,6 @@ func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, 
 			return res, enumErr
 		}
 	}
-}
-
-// runGridJobs checks one chunk of grid inputs, sequentially or on a worker
-// pool, and returns per-job verdicts. Entries past the first failing index
-// may be zero-valued: the caller aggregates in order and never reads them.
-//
-// The total worker budget o.Workers is split across the two parallelism
-// levels: outer workers check independent inputs, and each check explores
-// its state space with inner = o.Workers/outer workers, so outer × inner
-// never exceeds the budget. When the chunk has at least o.Workers inputs the
-// split is all-outer (inner = 1, the sequential engine); a single large
-// input gets the whole budget as inner exploration workers.
-func runGridJobs(jobs []gridJob, o Options, opts []Option) []Verdict {
-	verdicts := make([]Verdict, len(jobs))
-	workers := min(o.Workers, len(jobs))
-	inner := max(1, o.Workers/max(workers, 1))
-	innerOpts := append(slices.Clip(slices.Clone(opts)), WithWorkers(inner))
-	if workers <= 1 {
-		for i := range jobs {
-			verdicts[i] = CheckInput(jobs[i].root, jobs[i].want, innerOpts...)
-			if !verdicts[i].OK && !verdicts[i].Inconclusive {
-				break
-			}
-		}
-		return verdicts
-	}
-	// failMin is the smallest job index known to have failed; jobs after it
-	// can be skipped since aggregation never reads past the first failure.
-	// It only decreases, so every index ≤ its final value is guaranteed to
-	// have been fully checked.
-	var next, failMin atomic.Int64
-	failMin.Store(int64(len(jobs)))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(len(jobs)) {
-					return
-				}
-				if i > failMin.Load() {
-					continue
-				}
-				v := CheckInput(jobs[i].root, jobs[i].want, innerOpts...)
-				verdicts[i] = v
-				if !v.OK && !v.Inconclusive {
-					for {
-						cur := failMin.Load()
-						if i >= cur || failMin.CompareAndSwap(cur, i) {
-							break
-						}
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return verdicts
 }
 
 // GridResult summarizes a CheckGrid run.

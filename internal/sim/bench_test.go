@@ -84,3 +84,34 @@ func BenchmarkGillespie(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
 	})
 }
+
+// BenchmarkFairRandom mirrors the Gillespie ring benchmark for the fair
+// scheduler: the incremental applicable-set maintenance (O(dependents) per
+// step) against the old full ApplicableReactions walk (O(reactions)).
+func BenchmarkFairRandom(b *testing.B) {
+	const m, tokens, steps = 128, 64, 100_000
+	start := benchcrn.Ring(m).MustInitialConfig(vec.New(tokens))
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			r := FairRandom(start, WithSeed(uint64(i)+1), WithMaxSteps(steps))
+			fired += r.Steps
+		}
+		if fired == 0 {
+			b.Fatal("no reactions fired")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+	})
+	b.Run("full-walk", func(b *testing.B) {
+		b.ReportAllocs()
+		var fired int64
+		for i := 0; i < b.N; i++ {
+			fired += benchcrn.FairRandomFullWalk(start, steps, uint64(i)+1)
+		}
+		if fired == 0 {
+			b.Fatal("no reactions fired")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/step")
+	})
+}

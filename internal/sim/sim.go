@@ -43,7 +43,9 @@ type Options struct {
 	// SilentSteps: for CRNs that never become terminal (e.g. catalytic
 	// loops), stop once the output count has been unchanged for this many
 	// consecutive steps AND every applicable reaction is output-neutral.
-	// Zero disables the criterion.
+	// The second conjunct is what keeps the criterion sound for stable
+	// computation: a run is only declared converged while no applicable
+	// reaction could still change the output. Zero disables the criterion.
 	SilentSteps int64
 }
 
@@ -67,15 +69,22 @@ func buildOptions(opts []Option) Options {
 	return o
 }
 
-// compiledSim holds the dense tables Gillespie needs: the CRN's compiled
-// merged reactant rows (shared — crn.ReactantsAt is the single source of
+// compiledSim holds the dense tables the simulators need. Every table is a
+// view of state memoized on the CRN itself behind sync.Once guards — the
+// merged reactant rows (crn.ReactantsAt, the single source of
 // merged-reactant semantics, so applicability and propensity always agree)
-// and the reaction→reaction dependency lists that make per-step propensity
-// maintenance O(dependents of the fired reaction) instead of O(reactions).
+// and the reaction→reaction dependency lists (crn.DependentsAt) that make
+// per-step propensity and applicable-set maintenance O(dependents of the
+// fired reaction) instead of O(reactions). Only the per-reaction output
+// deltas are computed here, once per compile, so the silence criterion's
+// "every applicable reaction is output-neutral" check costs
+// O(output-changing reactions) per evaluation.
 type compiledSim struct {
-	reactants [][]crn.IdxCoeff
-	deps      [][]int32
-	outIdx    int
+	reactants   [][]crn.IdxCoeff
+	deps        [][]int32
+	outIdx      int
+	outDelta    []int64 // net output change of each reaction
+	outChanging []int32 // reactions with outDelta != 0
 }
 
 func compileSim(c *crn.CRN) *compiledSim {
@@ -84,31 +93,41 @@ func compileSim(c *crn.CRN) *compiledSim {
 		reactants: make([][]crn.IdxCoeff, nR),
 		deps:      make([][]int32, nR),
 		outIdx:    c.OutputIndex(),
+		outDelta:  make([]int64, nR),
 	}
-	consumers := make([][]int32, c.NumSpecies())
 	for ri := 0; ri < nR; ri++ {
 		cs.reactants[ri] = c.ReactantsAt(ri)
-		for _, t := range cs.reactants[ri] {
-			consumers[t.Idx] = append(consumers[t.Idx], int32(ri))
-		}
-	}
-	for ri := 0; ri < nR; ri++ {
-		var deps []int32
+		cs.deps[ri] = c.DependentsAt(ri)
 		for _, d := range c.DeltaAt(ri) {
-			deps = append(deps, consumers[d.Idx]...)
+			if d.Idx == cs.outIdx {
+				cs.outDelta[ri] = d.Coeff
+			}
 		}
-		slices.Sort(deps)
-		cs.deps[ri] = slices.Compact(deps)
+		if cs.outDelta[ri] != 0 {
+			cs.outChanging = append(cs.outChanging, int32(ri))
+		}
 	}
 	return cs
 }
 
-// propensityAt returns the mass-action combinatorial count for reaction ri
-// in the dense count row: the number of distinct reactant multisets,
-// Π_species (n choose k) (falling factorials over factorials).
-func (cs *compiledSim) propensityAt(counts []int64, ri int) float64 {
+// outputSilent reports the second half of the SilentSteps contract: no
+// currently-applicable reaction can change the output count. Only the
+// precompiled output-changing reactions are probed.
+func (cs *compiledSim) outputSilent(c *crn.CRN, counts []int64) bool {
+	for _, ri := range cs.outChanging {
+		if c.ApplicableAt(counts, int(ri)) {
+			return false
+		}
+	}
+	return true
+}
+
+// propensityOn returns the mass-action combinatorial count for the merged
+// reactant row terms in the dense count row: the number of distinct reactant
+// multisets, Π_species (n choose k) (falling factorials over factorials).
+func propensityOn(terms []crn.IdxCoeff, counts []int64) float64 {
 	p := 1.0
-	for _, t := range cs.reactants[ri] {
+	for _, t := range terms {
 		n := counts[t.Idx]
 		if n < t.Coeff {
 			return 0
@@ -126,11 +145,18 @@ func (cs *compiledSim) propensityAt(counts []int64, ri int) float64 {
 	return p
 }
 
+// propensityAt returns the mass-action combinatorial count for reaction ri
+// in the dense count row.
+func (cs *compiledSim) propensityAt(counts []int64, ri int) float64 {
+	return propensityOn(cs.reactants[ri], counts)
+}
+
 // propensity returns the mass-action combinatorial count for reaction ri in
 // cur. Duplicate reactant terms naming the same species are merged, so the
-// count is always the true multiset count.
+// count is always the true multiset count. It reads the reactant tables
+// memoized on the CRN — nothing is recompiled per call.
 func propensity(cur crn.Config, ri int) float64 {
-	return compileSim(cur.CRN()).propensityAt(cur.CountsRef(), ri)
+	return propensityOn(cur.CRN().ReactantsAt(ri), cur.CountsRef())
 }
 
 // Gillespie runs the exact stochastic simulation algorithm (direct method)
@@ -208,7 +234,11 @@ func Gillespie(start crn.Config, opts ...Option) Result {
 		} else {
 			silent++
 		}
-		if o.SilentSteps > 0 && silent >= o.SilentSteps {
+		// Both halves of the SilentSteps contract: the output has been
+		// unchanged long enough AND no applicable reaction could still change
+		// it. Applicability is probed exactly (not via the drift-prone
+		// incremental propensities).
+		if o.SilentSteps > 0 && silent >= o.SilentSteps && cs.outputSilent(c, counts) {
 			return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: true}
 		}
 	}
@@ -239,34 +269,65 @@ func pick(props []float64, u float64) int {
 // probability 1, so for stably-computing CRNs the final output is f(x) with
 // probability 1. This is cheaper than Gillespie and preserves the
 // reachability semantics (which are rate-independent).
+//
+// The applicable set is maintained incrementally: firing a reaction only
+// re-probes the applicability of reactions sharing a species with its net
+// change (the compiled dependency graph), O(dependents) per step instead of
+// a full O(reactions) walk. The set is kept sorted ascending — exactly the
+// order the full walk produced — so same-seed runs reproduce the
+// pre-incremental step sequences bit for bit.
 func FairRandom(start crn.Config, opts ...Option) Result {
 	o := buildOptions(opts)
 	rng := rand.New(rand.NewPCG(o.Seed, 0xDA942042E4DD58B5))
-	cur := start.Clone()
-	var applicable []int
+	c := start.CRN()
+	cs := compileSim(c)
+	counts := slices.Clone([]int64(start.CountsRef()))
+	nR := c.NumReactions()
+
+	isApp := make([]bool, nR)
+	applicable := make([]int32, 0, nR)
+	for ri := 0; ri < nR; ri++ {
+		if c.ApplicableAt(counts, ri) {
+			isApp[ri] = true
+			applicable = append(applicable, int32(ri))
+		}
+	}
+
 	var steps int64
 	var silent int64
-	lastY := cur.Output()
+	lastY := counts[cs.outIdx]
 
 	for steps < o.MaxSteps {
-		applicable = cur.ApplicableReactions(applicable)
 		if len(applicable) == 0 {
-			return Result{Final: cur, Steps: steps, Converged: true}
+			return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: true}
 		}
-		ri := applicable[rng.IntN(len(applicable))]
-		cur.ApplyInPlace(ri)
+		ri := int(applicable[rng.IntN(len(applicable))])
+		c.ApplyInto(counts, counts, ri)
 		steps++
-		if y := cur.Output(); y != lastY {
+		for _, rj := range cs.deps[ri] {
+			now := c.ApplicableAt(counts, int(rj))
+			if now == isApp[rj] {
+				continue
+			}
+			isApp[rj] = now
+			k, _ := slices.BinarySearch(applicable, rj)
+			if now {
+				applicable = slices.Insert(applicable, k, rj)
+			} else {
+				applicable = slices.Delete(applicable, k, k+1)
+			}
+		}
+		if y := counts[cs.outIdx]; y != lastY {
 			lastY = y
 			silent = 0
 		} else {
 			silent++
 		}
-		if o.SilentSteps > 0 && silent >= o.SilentSteps {
-			return Result{Final: cur, Steps: steps, Converged: true}
+		if o.SilentSteps > 0 && silent >= o.SilentSteps && cs.outputSilent(c, counts) {
+			return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: true}
 		}
 	}
-	return Result{Final: cur, Steps: steps, Converged: false}
+	return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: false}
 }
 
 // Scheduler selects the next reaction to fire among the applicable ones.

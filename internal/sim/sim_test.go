@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"fmt"
+	"math/rand/v2"
 	"testing"
 
+	"crncompose/internal/benchcrn"
 	"crncompose/internal/crn"
 	"crncompose/internal/vec"
 )
@@ -85,6 +88,158 @@ func TestSilentStepsCriterion(t *testing.T) {
 	r := FairRandom(c.MustInitialConfig(vec.New(1)), WithSilentSteps(50), WithMaxSteps(10000))
 	if !r.Converged {
 		t.Fatal("silence criterion did not trigger")
+	}
+}
+
+// silentTrapGillespie is the regression CRN for the false-convergence bug:
+// an output-neutral loop whose propensity (200) drowns out an
+// always-applicable output-changing reaction 2W → 2W + Y (propensity 1), so
+// the output routinely sits unchanged for SilentSteps steps while a reaction
+// that can change it stays applicable. The pre-fix criterion — which checked
+// only the first half of the SilentSteps contract — declared Converged here.
+func silentTrapGillespie(t *testing.T) crn.Config {
+	t.Helper()
+	c := crn.MustNew([]crn.Species{"X", "W"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "X"}}},
+		{Reactants: []crn.Term{{Coeff: 2, Sp: "W"}}, Products: []crn.Term{{Coeff: 2, Sp: "W"}, {Coeff: 1, Sp: "Y"}}},
+	})
+	cfg, err := c.ConfigFromCounts(map[crn.Species]int64{"X": 200, "W": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// silentTrapFair is the FairRandom variant: twelve neutral loops dilute the
+// uniform choice so the output-changing reaction fires rarely enough for
+// 50-step silent streaks to occur while it remains applicable.
+func silentTrapFair(t *testing.T) crn.Config {
+	t.Helper()
+	var rs []crn.Reaction
+	counts := map[crn.Species]int64{"W": 2}
+	for i := 0; i < 12; i++ {
+		sp := crn.Species(fmt.Sprintf("N%02d", i))
+		rs = append(rs, crn.Reaction{Reactants: []crn.Term{{Coeff: 1, Sp: sp}}, Products: []crn.Term{{Coeff: 1, Sp: sp}}})
+		counts[sp] = 1
+	}
+	rs = append(rs, crn.Reaction{Reactants: []crn.Term{{Coeff: 2, Sp: "W"}}, Products: []crn.Term{{Coeff: 2, Sp: "W"}, {Coeff: 1, Sp: "Y"}}})
+	c := crn.MustNew([]crn.Species{"W"}, "Y", "", rs)
+	cfg, err := c.ConfigFromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestSilenceCriterionRequiresOutputNeutralApplicable(t *testing.T) {
+	// The output-changing reaction is catalytic, hence applicable forever:
+	// the silence criterion must never declare convergence, so every run
+	// exhausts its step budget. On the pre-fix code each of these seeds
+	// falsely returned Converged within a few hundred steps.
+	gcfg := silentTrapGillespie(t)
+	fcfg := silentTrapFair(t)
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := Gillespie(gcfg, WithSeed(seed), WithSilentSteps(50), WithMaxSteps(10_000))
+		if r.Converged {
+			t.Errorf("gillespie seed %d: false convergence at step %d (output-changing reaction still applicable)", seed, r.Steps)
+		}
+		if r.Steps != 10_000 {
+			t.Errorf("gillespie seed %d: stopped at %d steps without converging", seed, r.Steps)
+		}
+		if !r.Final.Applicable(1) {
+			t.Fatalf("gillespie seed %d: trap reaction became inapplicable — CRN does not exercise the bug", seed)
+		}
+		fr := FairRandom(fcfg, WithSeed(seed), WithSilentSteps(50), WithMaxSteps(10_000))
+		if fr.Converged {
+			t.Errorf("fairrandom seed %d: false convergence at step %d", seed, fr.Steps)
+		}
+		if !fr.Final.Applicable(12) {
+			t.Fatalf("fairrandom seed %d: trap reaction became inapplicable", seed)
+		}
+	}
+	// The criterion must still fire when the output-changing reaction is
+	// genuinely inapplicable (the sound half of the old behavior).
+	c := crn.MustNew([]crn.Species{"X"}, "Y", "", []crn.Reaction{
+		{Reactants: []crn.Term{{Coeff: 1, Sp: "X"}}, Products: []crn.Term{{Coeff: 1, Sp: "X"}}},
+		{Reactants: []crn.Term{{Coeff: 2, Sp: "X"}}, Products: []crn.Term{{Coeff: 2, Sp: "X"}, {Coeff: 1, Sp: "Y"}}},
+	})
+	start := c.MustInitialConfig(vec.New(1))
+	if r := FairRandom(start, WithSilentSteps(50), WithMaxSteps(10_000)); !r.Converged {
+		t.Error("fairrandom: silence criterion did not fire with only neutral reactions applicable")
+	}
+	if r := Gillespie(start, WithSilentSteps(50), WithMaxSteps(10_000)); !r.Converged {
+		t.Error("gillespie: silence criterion did not fire with only neutral reactions applicable")
+	}
+}
+
+func TestPropensityDoesNotRecompile(t *testing.T) {
+	// propensity() reads the reactant tables memoized on the CRN; after a
+	// warm-up call it must not allocate (the old implementation recompiled
+	// every reaction row and the dependency graph per invocation).
+	cfg := maxCRN().MustInitialConfig(vec.New(5, 3))
+	propensity(cfg, 0)
+	if n := testing.AllocsPerRun(100, func() { propensity(cfg, 2) }); n != 0 {
+		t.Errorf("propensity allocates %v times per call, want 0", n)
+	}
+}
+
+// fairRandomReference is the pre-incremental FairRandom step loop — a full
+// ApplicableReactions walk per step — kept as the oracle that the
+// incremental applicable-set maintenance reproduces its step sequences bit
+// for bit (same seed ⇒ same choices ⇒ same trajectory).
+func fairRandomReference(start crn.Config, o Options) Result {
+	rng := rand.New(rand.NewPCG(o.Seed, 0xDA942042E4DD58B5))
+	cur := start.Clone()
+	var applicable []int
+	var steps, silent int64
+	lastY := cur.Output()
+	for steps < o.MaxSteps {
+		applicable = cur.ApplicableReactions(applicable)
+		if len(applicable) == 0 {
+			return Result{Final: cur, Steps: steps, Converged: true}
+		}
+		cur.ApplyInPlace(applicable[rng.IntN(len(applicable))])
+		steps++
+		if y := cur.Output(); y != lastY {
+			lastY = y
+			silent = 0
+		} else {
+			silent++
+		}
+		if o.SilentSteps > 0 && silent >= o.SilentSteps && outputNeutralApplicableOnly(cur) {
+			return Result{Final: cur, Steps: steps, Converged: true}
+		}
+	}
+	return Result{Final: cur, Steps: steps, Converged: false}
+}
+
+func outputNeutralApplicableOnly(cur crn.Config) bool {
+	c := cur.CRN()
+	for _, ri := range cur.ApplicableReactions(nil) {
+		if c.Reactions[ri].Net(c.Output) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFairRandomIncrementalMatchesReference(t *testing.T) {
+	cases := map[string]crn.Config{
+		"min":       minCRN().MustInitialConfig(vec.New(40, 25)),
+		"max":       maxCRN().MustInitialConfig(vec.New(30, 27)),
+		"ring":      benchcrn.Ring(32).MustInitialConfig(vec.New(16)),
+		"trap-fair": silentTrapFair(t),
+	}
+	for name, start := range cases {
+		for seed := uint64(1); seed <= 8; seed++ {
+			o := Options{MaxSteps: 5_000, Seed: seed, SilentSteps: 64}
+			want := fairRandomReference(start, o)
+			got := FairRandom(start, WithSeed(seed), WithMaxSteps(o.MaxSteps), WithSilentSteps(o.SilentSteps))
+			if got.Steps != want.Steps || got.Converged != want.Converged || got.Final.Key() != want.Final.Key() {
+				t.Fatalf("%s seed %d: incremental (steps=%d conv=%v %s) != reference (steps=%d conv=%v %s)",
+					name, seed, got.Steps, got.Converged, got.Final, want.Steps, want.Converged, want.Final)
+			}
+		}
 	}
 }
 
