@@ -12,16 +12,22 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"crncompose/internal/benchcrn"
 	"crncompose/internal/classify"
+	"crncompose/internal/crn"
+	"crncompose/internal/dist"
 	"crncompose/internal/reach"
 	"crncompose/internal/semilinear"
 	"crncompose/internal/sim"
@@ -52,7 +58,7 @@ type suiteReport struct {
 func main() {
 	quick := flag.Bool("quick", false, "small workloads for CI smoke runs")
 	outdir := flag.String("outdir", ".", "directory for BENCH_*.json")
-	suite := flag.String("suite", "all", "which suite to run: reach, sim, or all")
+	suite := flag.String("suite", "all", "which suite to run: reach, sim, dist, or all")
 	flag.Parse()
 
 	if *suite == "reach" || *suite == "all" {
@@ -62,6 +68,11 @@ func main() {
 	}
 	if *suite == "sim" || *suite == "all" {
 		if err := writeReport(*outdir, "BENCH_sim.json", simSuite(*quick)); err != nil {
+			fatal(err)
+		}
+	}
+	if *suite == "dist" || *suite == "all" {
+		if err := writeReport(*outdir, "BENCH_dist.json", distSuite(*quick)); err != nil {
 			fatal(err)
 		}
 	}
@@ -235,6 +246,95 @@ func skewGridBenchmarks(quick bool) []record {
 		out = append(out, rec)
 	}
 	return out
+}
+
+// distSuite measures the distributed checker against local CheckGrid on the
+// same grid: a coordinator plus two workers, all on localhost HTTP, so the
+// reported vs_local ratio is pure coordination overhead (lease round-trips,
+// JSON encoding, merge) — the floor a real multi-machine deployment pays
+// before network latency. The distributed result is also asserted
+// byte-identical to the local one, the subsystem's core invariant.
+func distSuite(quick bool) suiteReport {
+	rep := newReport("dist", quick)
+	c := benchcrn.Branchy()
+	h := int64(7)
+	if quick {
+		h = 4
+	}
+	lo, hi := []int64{0, 0}, []int64{h, h}
+	f := func(x []int64) int64 { return max(x[0], x[1]) }
+
+	var localJSON []byte
+	local := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := reach.CheckGrid(c, f, lo, hi, reach.WithWorkers(0))
+			if err != nil || !res.OK() {
+				b.Fatalf("%v %v", err, res)
+			}
+			localJSON, _ = json.Marshal(res)
+		}
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord(fmt.Sprintf("checkgrid_branchy_%dx%d_local_workers0", h+1, h+1), local))
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := runDistOnce(b, c, lo, hi)
+			got, _ := json.Marshal(res)
+			if !bytes.Equal(got, localJSON) {
+				b.Fatalf("distributed result differs from local:\n%s\n%s", got, localJSON)
+			}
+		}
+	})
+	rec := toRecord(fmt.Sprintf("checkgrid_branchy_%dx%d_dist_coordinator_2workers", h+1, h+1), r)
+	rec.Extra = withExtra(rec.Extra, "vs_local", rec.NsPerOp/float64(local.NsPerOp()))
+	rep.Benchmarks = append(rep.Benchmarks, rec)
+	return rep
+}
+
+// runDistOnce runs one full coordinator + 2 workers job over localhost.
+func runDistOnce(b *testing.B, c *crn.CRN, lo, hi []int64) reach.GridResult {
+	co, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		CRN: c, Func: "max", Lo: lo, Hi: hi, Shards: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := co.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer co.Shutdown(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wk := &dist.Worker{
+			Coordinator: co.Addr().String(),
+			Name:        fmt.Sprintf("bench-%d", w),
+			Resolve: func(name string) (reach.Func, error) {
+				if name != "max" {
+					return nil, fmt.Errorf("unknown function %q", name)
+				}
+				return func(x []int64) int64 { return max(x[0], x[1]) }, nil
+			},
+			Poll: 2 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := wk.Run(ctx); err != nil && ctx.Err() == nil {
+				b.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	res, err := co.Wait(ctx)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
 }
 
 // withExtra sets key in the (possibly nil) extra-metric map.

@@ -3,26 +3,44 @@
 // that a CRN stably computes a library function on a grid of inputs, and
 // reports output-obliviousness and output-monotonicity.
 //
+// It runs in three modes. Local (the default) checks the whole grid
+// in-process. -coordinator turns the process into the coordinator of a
+// distributed run: it splits the grid into rectangles, leases them to
+// workers over HTTP+JSON (internal/dist), reassigns rectangles whose
+// workers die, and merges the results into the exact GridResult a local
+// run would print. -join turns the process into a worker: it fetches the
+// job from the coordinator, checks leased rectangles on the local
+// steal-pool engine, and reports results until the job is done.
+//
 // -workers sizes one shared work-stealing pool spanning both parallelism
 // levels: workers check independent grid inputs while any remain, then
 // migrate into the still-running explorations (stealing frontier slices),
 // so skewed grids keep every core busy through the tail. Results — counts,
 // the first failing input, its witness schedule — are byte-identical at
-// every worker count and steal schedule.
+// every worker count and steal schedule, and (for distributed runs) at any
+// worker-process count, join order, or crash schedule.
+//
+// -json emits the machine-readable GridResult — the same encoding the
+// distributed protocol uses — instead of the human-readable report.
 //
 // Usage:
 //
 //	crncheck -crn min.crn -f min -lo 0 -hi 5
 //	crnsynth -f fig4a -n 2 -bound 8 | crncheck -crn - -f fig4a -hi 2
+//	crncheck -crn min.crn -f min -hi 9 -coordinator :7421   # terminal 1
+//	crncheck -join localhost:7421                           # terminal 2..N
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"crncompose/internal/core"
+	"crncompose/internal/dist"
 	"crncompose/internal/parse"
 	"crncompose/internal/reach"
 	"crncompose/internal/vec"
@@ -44,12 +62,22 @@ func run(args []string, out io.Writer) error {
 		hi         = fs.Int64("hi", 3, "grid upper bound per coordinate")
 		maxConfigs = fs.Int("maxconfigs", 1<<20, "reachability budget per input")
 		workers    = fs.Int("workers", 0, "size of the shared work-stealing pool: workers check grid inputs concurrently and migrate into still-running explorations as inputs finish (0 = all CPUs, 1 = sequential)")
+		jsonOut    = fs.Bool("json", false, "emit the machine-readable GridResult (the distributed protocol's encoding) instead of the human report")
+
+		coordAddr  = fs.String("coordinator", "", "run as distributed coordinator listening on this host:port; workers join with -join")
+		joinAddr   = fs.String("join", "", "run as distributed worker against the coordinator at this host:port")
+		shards     = fs.Int("shards", 0, "coordinator: number of grid rectangles to lease out (0 = 16; more shards than workers keeps the tail balanced)")
+		lease      = fs.Duration("lease", dist.DefaultLeaseTTL, "coordinator: lease TTL before a silent worker's rectangle is reassigned")
+		checkpoint = fs.String("checkpoint", "", "coordinator: checkpoint file; completed rectangles are saved after each result and resumed on restart")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *joinAddr != "" {
+		return runWorker(*joinAddr, *workers)
+	}
 	if *crnPath == "" || *fname == "" {
-		return fmt.Errorf("need both -crn and -f")
+		return fmt.Errorf("need both -crn and -f (or -join addr)")
 	}
 	src, err := readAll(*crnPath)
 	if err != nil {
@@ -66,26 +94,95 @@ func run(args []string, out io.Writer) error {
 	if c.Dim() != f.Dim() {
 		return fmt.Errorf("CRN takes %d inputs but %s takes %d", c.Dim(), f.Name, f.Dim())
 	}
-	fmt.Fprintf(out, "structure: output-oblivious=%v output-monotonic=%v leader=%q species=%d reactions=%d\n",
-		c.IsOutputOblivious(), c.IsOutputMonotonic(), c.Leader, c.NumSpecies(), len(c.Reactions))
+	if !*jsonOut {
+		fmt.Fprintf(out, "structure: output-oblivious=%v output-monotonic=%v leader=%q species=%d reactions=%d\n",
+			c.IsOutputOblivious(), c.IsOutputMonotonic(), c.Leader, c.NumSpecies(), len(c.Reactions))
+	}
 	d := f.Dim()
 	los, his := make([]int64, d), make([]int64, d)
 	for i := range los {
 		los[i], his[i] = *lo, *hi
 	}
-	res, err := reach.CheckGrid(c, func(x []int64) int64 { return f.Eval(vec.New(x...)) },
-		los, his, reach.WithMaxConfigs(*maxConfigs), reach.WithWorkers(*workers))
+
+	var res reach.GridResult
+	if *coordAddr != "" {
+		if *maxConfigs < 1 {
+			// Local mode gives a nonpositive budget a defined (if useless)
+			// meaning — everything inconclusive. The distributed job spec
+			// reserves nonpositive for "default", so refuse loudly rather
+			// than silently diverge from local mode.
+			return fmt.Errorf("-maxconfigs must be >= 1 in coordinator mode")
+		}
+		co, cerr := dist.NewCoordinator(dist.CoordinatorConfig{
+			CRN:        c,
+			Func:       *fname,
+			Lo:         los,
+			Hi:         his,
+			MaxConfigs: *maxConfigs,
+			Shards:     *shards,
+			LeaseTTL:   *lease,
+			Checkpoint: *checkpoint,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "crncheck: "+format+"\n", args...)
+			},
+		})
+		if cerr != nil {
+			return cerr
+		}
+		res, err = co.Run(context.Background(), *coordAddr)
+	} else {
+		res, err = reach.CheckGrid(c, func(x []int64) int64 { return f.Eval(vec.New(x...)) },
+			los, his, reach.WithMaxConfigs(*maxConfigs), reach.WithWorkers(*workers))
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(out, res)
-	if !res.OK() {
-		if res.Failure.Verdict.Witness != nil {
+	if *jsonOut {
+		if err := writeJSONResult(out, res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(out, res)
+		if !res.OK() && res.Failure.Verdict.Witness != nil {
 			fmt.Fprintf(out, "witness schedule:\n%s", res.Failure.Verdict.Witness)
 		}
+	}
+	if !res.OK() {
 		return fmt.Errorf("verification failed")
 	}
 	return nil
+}
+
+// runWorker joins a coordinator and serves until the job is done. The
+// function library is resolved locally (core.Library), so worker and
+// coordinator binaries must agree on it.
+func runWorker(addr string, workers int) error {
+	w := &dist.Worker{
+		Coordinator: addr,
+		Workers:     workers,
+		Resolve: func(name string) (reach.Func, error) {
+			f, ok := core.Library()[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown function %q", name)
+			}
+			return func(x []int64) int64 { return f.Eval(vec.New(x...)) }, nil
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "crncheck: "+format+"\n", args...)
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return w.Run(ctx)
+}
+
+func writeJSONResult(out io.Writer, res reach.GridResult) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", b)
+	return err
 }
 
 func readAll(path string) (string, error) {

@@ -1,0 +1,467 @@
+package dist
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/reach"
+)
+
+// Defaults for CoordinatorConfig zero values.
+const (
+	DefaultShards   = 16
+	DefaultLeaseTTL = 30 * time.Second
+)
+
+// CoordinatorConfig describes a distributed CheckGrid job.
+type CoordinatorConfig struct {
+	// CRN is the network under verification; its text form is shipped to
+	// workers and it rebinds decoded witness configurations.
+	CRN *crn.CRN
+	// Func names the function the CRN should compute. Workers resolve the
+	// name themselves (cmd/crncheck uses core.Library on both sides).
+	Func string
+	// Lo, Hi bound the grid, per coordinate (lo ≤ x ≤ hi).
+	Lo, Hi []int64
+	// MaxConfigs and MaxCount are the per-input exploration budgets — part
+	// of the job, since verdicts depend on them. Nonpositive values pick
+	// reach's own defaults (1<<18 configs, 1<<40 max count), so an unset
+	// config stays byte-identical to a reach.CheckGrid with unset options.
+	MaxConfigs int
+	MaxCount   int64
+	// Shards is the number of grid rectangles to lease out (default
+	// DefaultShards, clamped to the grid size). More shards than workers
+	// keeps the tail balanced; rectangles are cheap.
+	Shards int
+	// LeaseTTL bounds how long a silent worker holds a rectangle before it
+	// is reassigned (default DefaultLeaseTTL). Workers heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// Checkpoint, when nonempty, is a file the coordinator rewrites after
+	// every completed rectangle and loads on startup, so an interrupted run
+	// resumes from the completed set (see checkpoint.go for the format and
+	// its cross-version promises).
+	Checkpoint string
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+type rectStatus int
+
+const (
+	rectPending rectStatus = iota
+	rectLeased
+	rectDone
+)
+
+// rectState is the lease-table entry of one rectangle.
+type rectState struct {
+	status   rectStatus
+	worker   string    // current lease holder (status == rectLeased)
+	deadline time.Time // lease expiry (status == rectLeased)
+	attempts int       // times leased (for /status observability)
+	result   reach.GridResult
+	raw      json.RawMessage // wire form of result, for the checkpoint file
+	errMsg   string          // deterministic enumeration error, if any
+}
+
+// Coordinator shards one CheckGrid call across workers and merges their
+// rectangle results deterministically. Create with NewCoordinator, then
+// either Run (serve + wait) or Start/Wait/Shutdown separately.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	job    JobSpec
+	jobSum string // sha256 of the JobSpec JSON; checkpoint compatibility key
+	rects  []Rect
+	ttl    time.Duration
+	now    func() time.Time // injectable for lease tests
+
+	mu        sync.Mutex
+	states    []rectState
+	finished  bool
+	merged    reach.GridResult
+	mergedErr error
+	doneCh    chan struct{}
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewCoordinator validates the job, splits the grid, and (if configured)
+// loads the checkpoint. It does not listen yet.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.CRN == nil {
+		return nil, errors.New("dist: coordinator needs a CRN")
+	}
+	if cfg.Func == "" {
+		return nil, errors.New("dist: coordinator needs a function name")
+	}
+	d := cfg.CRN.Dim()
+	if len(cfg.Lo) != d || len(cfg.Hi) != d {
+		return nil, fmt.Errorf("dist: grid arity %d/%d does not match CRN arity %d", len(cfg.Lo), len(cfg.Hi), d)
+	}
+	for i := range cfg.Lo {
+		if cfg.Hi[i] < cfg.Lo[i] {
+			return nil, fmt.Errorf("dist: empty grid axis %d: lo %d > hi %d", i, cfg.Lo[i], cfg.Hi[i])
+		}
+	}
+	if cfg.MaxConfigs <= 0 {
+		cfg.MaxConfigs = 1 << 18 // reach.buildOptions' default
+	}
+	if cfg.MaxCount <= 0 {
+		cfg.MaxCount = 1 << 40 // reach.buildOptions' default
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = DefaultShards
+	}
+	if n := gridSize(cfg.Lo, cfg.Hi); int64(cfg.Shards) > n {
+		cfg.Shards = int(n)
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	rects := SplitGrid(cfg.Lo, cfg.Hi, cfg.Shards)
+	job := JobSpec{
+		Version:    ProtocolVersion,
+		CRN:        cfg.CRN.String(),
+		Func:       cfg.Func,
+		Lo:         cfg.Lo,
+		Hi:         cfg.Hi,
+		MaxConfigs: cfg.MaxConfigs,
+		MaxCount:   cfg.MaxCount,
+		Rects:      len(rects),
+	}
+	jb, err := json.Marshal(job)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(jb)
+	co := &Coordinator{
+		cfg:    cfg,
+		job:    job,
+		jobSum: hex.EncodeToString(sum[:]),
+		rects:  rects,
+		ttl:    cfg.LeaseTTL,
+		now:    time.Now,
+		states: make([]rectState, len(rects)),
+		doneCh: make(chan struct{}),
+	}
+	if cfg.Checkpoint != "" {
+		co.mu.Lock()
+		co.loadCheckpointLocked()
+		co.checkFinishedLocked()
+		co.mu.Unlock()
+	}
+	return co, nil
+}
+
+// Rects returns the grid partition, in canonical grid order.
+func (co *Coordinator) Rects() []Rect { return co.rects }
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.cfg.Logf != nil {
+		co.cfg.Logf(format, args...)
+	}
+}
+
+// lease hands out the lowest-indexed pending rectangle, after reclaiming
+// expired leases. Rectangles past the first decided (failed or errored) one
+// can no longer affect the merged result and are never handed out.
+func (co *Coordinator) lease(worker string) LeaseResponse {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.sweepLocked()
+	if co.finished {
+		return LeaseResponse{Done: true}
+	}
+	bound := co.firstDecidedLocked()
+	for id := 0; id < len(co.states) && id <= bound; id++ {
+		st := &co.states[id]
+		if st.status != rectPending {
+			continue
+		}
+		st.status = rectLeased
+		st.worker = worker
+		st.deadline = co.now().Add(co.ttl)
+		st.attempts++
+		r := co.rects[id]
+		co.logf("lease: rect %d -> %s (attempt %d)", id, worker, st.attempts)
+		return LeaseResponse{Rect: &r, TTLMillis: co.ttl.Milliseconds()}
+	}
+	return LeaseResponse{Wait: true}
+}
+
+// renew extends worker's lease on rectID. A false response means the lease
+// was lost (expired and possibly reassigned).
+func (co *Coordinator) renew(worker string, rectID int) RenewResponse {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.sweepLocked()
+	if rectID < 0 || rectID >= len(co.states) {
+		return RenewResponse{}
+	}
+	st := &co.states[rectID]
+	if st.status != rectLeased || st.worker != worker {
+		return RenewResponse{}
+	}
+	st.deadline = co.now().Add(co.ttl)
+	return RenewResponse{OK: true}
+}
+
+// result records one rectangle's result. Duplicate reports (a lease expired
+// and both the old and the new holder finished) are identical by the
+// engine's determinism; the first one recorded wins and the rest are
+// acknowledged without effect. A decode failure is a protocol error.
+func (co *Coordinator) result(req ResultRequest) (ResultResponse, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if req.RectID < 0 || req.RectID >= len(co.states) {
+		return ResultResponse{}, fmt.Errorf("dist: result for unknown rect %d", req.RectID)
+	}
+	st := &co.states[req.RectID]
+	if st.status == rectDone {
+		return ResultResponse{OK: true}, nil
+	}
+	if len(req.Result) == 0 && req.Err == "" {
+		return ResultResponse{}, fmt.Errorf("dist: result for rect %d carries neither result nor error", req.RectID)
+	}
+	var res reach.GridResult
+	if len(req.Result) > 0 {
+		var err error
+		res, err = reach.UnmarshalGridResult(req.Result, co.cfg.CRN)
+		if err != nil {
+			return ResultResponse{}, fmt.Errorf("dist: rect %d: %w", req.RectID, err)
+		}
+	}
+	st.status = rectDone
+	st.worker = req.Worker
+	st.result = res
+	st.raw = req.Result
+	st.errMsg = req.Err
+	co.logf("result: rect %d from %s: %v", req.RectID, req.Worker, res)
+	if co.cfg.Checkpoint != "" {
+		if err := co.saveCheckpointLocked(); err != nil {
+			co.logf("checkpoint: %v", err)
+		}
+	}
+	co.checkFinishedLocked()
+	return ResultResponse{OK: true}, nil
+}
+
+// sweepLocked reclaims expired leases so the rectangles can be reassigned.
+func (co *Coordinator) sweepLocked() {
+	now := co.now()
+	for id := range co.states {
+		st := &co.states[id]
+		if st.status == rectLeased && st.deadline.Before(now) {
+			co.logf("lease: rect %d expired (held by %s); requeued", id, st.worker)
+			st.status = rectPending
+			st.worker = ""
+		}
+	}
+}
+
+// firstDecidedLocked returns the lowest id of a completed rectangle carrying
+// a failure or an enumeration error — the point past which no rectangle can
+// influence the merged result — or len(rects) if none.
+func (co *Coordinator) firstDecidedLocked() int {
+	for id := range co.states {
+		st := &co.states[id]
+		if st.status == rectDone && (st.errMsg != "" || st.result.Failure != nil) {
+			return id
+		}
+	}
+	return len(co.states)
+}
+
+// checkFinishedLocked finishes the run once every rectangle that can still
+// influence the result is done: all of them, or — when some rectangle
+// reported a failure or error — every rectangle up to and including the
+// first such one.
+func (co *Coordinator) checkFinishedLocked() {
+	if co.finished {
+		return
+	}
+	bound := co.firstDecidedLocked()
+	for id := 0; id < len(co.states) && id <= bound; id++ {
+		if co.states[id].status != rectDone {
+			return
+		}
+	}
+	co.merged, co.mergedErr = co.mergeLocked()
+	co.finished = true
+	close(co.doneCh)
+}
+
+// mergeLocked folds the rectangle results in canonical grid order with the
+// deterministic rule: counts sum; the first rectangle with a failure (the
+// smallest failing input in grid order) contributes its partial counts and
+// its failure, and everything after it is dropped — exactly where a
+// single-process CheckGrid stops. Enumeration errors cut the same way, with
+// the error returned alongside the partial counts.
+func (co *Coordinator) mergeLocked() (reach.GridResult, error) {
+	out := reach.GridResult{}
+	for id := range co.states {
+		st := &co.states[id]
+		if st.status != rectDone {
+			break
+		}
+		out.Checked += st.result.Checked
+		out.Inconclusive += st.result.Inconclusive
+		out.Explored += st.result.Explored
+		if st.result.Failure != nil {
+			out.Failure = st.result.Failure
+			return out, nil
+		}
+		if st.errMsg != "" {
+			return out, errors.New(st.errMsg)
+		}
+	}
+	return out, nil
+}
+
+// Handler returns the coordinator's HTTP API.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /job", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, co.job)
+	})
+	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, co.lease(req.Worker))
+	})
+	mux.HandleFunc("POST /renew", func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, co.renew(req.Worker, req.RectID))
+	})
+	mux.HandleFunc("POST /result", func(w http.ResponseWriter, r *http.Request) {
+		var req ResultRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, err := co.result(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, co.status())
+	})
+	return mux
+}
+
+// status is a point-in-time observability snapshot for GET /status.
+func (co *Coordinator) status() map[string]any {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var pending, leased, done int
+	for id := range co.states {
+		switch co.states[id].status {
+		case rectPending:
+			pending++
+		case rectLeased:
+			leased++
+		case rectDone:
+			done++
+		}
+	}
+	return map[string]any{
+		"rects":    len(co.states),
+		"pending":  pending,
+		"leased":   leased,
+		"done":     done,
+		"finished": co.finished,
+	}
+}
+
+// Start listens on addr (host:port; port 0 picks a free one — see Addr) and
+// serves the protocol in the background.
+func (co *Coordinator) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	co.ln = ln
+	co.srv = &http.Server{Handler: co.Handler()}
+	go func() { _ = co.srv.Serve(ln) }()
+	co.logf("coordinator: serving %d rects on %s", len(co.rects), ln.Addr())
+	return nil
+}
+
+// Addr returns the listening address (nil before Start).
+func (co *Coordinator) Addr() net.Addr {
+	if co.ln == nil {
+		return nil
+	}
+	return co.ln.Addr()
+}
+
+// Wait blocks until the merged result is available or ctx is canceled.
+func (co *Coordinator) Wait(ctx context.Context) (reach.GridResult, error) {
+	select {
+	case <-co.doneCh:
+		co.mu.Lock()
+		defer co.mu.Unlock()
+		return co.merged, co.mergedErr
+	case <-ctx.Done():
+		return reach.GridResult{}, ctx.Err()
+	}
+}
+
+// Shutdown stops the HTTP server.
+func (co *Coordinator) Shutdown(ctx context.Context) error {
+	if co.srv == nil {
+		return nil
+	}
+	return co.srv.Shutdown(ctx)
+}
+
+// Run serves on addr until the grid is fully checked and returns the merged
+// result — the exact GridResult a single-process reach.CheckGrid would
+// return. It lingers briefly before shutdown so polling workers observe the
+// Done response and exit cleanly.
+func (co *Coordinator) Run(ctx context.Context, addr string) (reach.GridResult, error) {
+	if err := co.Start(addr); err != nil {
+		return reach.GridResult{}, err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = co.Shutdown(sctx)
+	}()
+	res, err := co.Wait(ctx)
+	if err == nil || ctx.Err() == nil {
+		// Give workers one poll cycle to see Done before the listener closes.
+		time.Sleep(200 * time.Millisecond)
+	}
+	return res, err
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}

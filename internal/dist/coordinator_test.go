@@ -1,0 +1,249 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"slices"
+	"testing"
+	"time"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/reach"
+)
+
+func newTestCoordinator(t *testing.T, clock *fakeClock, shards int, checkpoint string) *Coordinator {
+	t.Helper()
+	co, err := NewCoordinator(CoordinatorConfig{
+		CRN:        minCRN(),
+		Func:       "min",
+		Lo:         []int64{0, 0},
+		Hi:         []int64{3, 3},
+		Shards:     shards,
+		LeaseTTL:   10 * time.Second,
+		Checkpoint: checkpoint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != nil {
+		co.now = clock.now
+	}
+	return co
+}
+
+// TestLeaseExpiryReassignment drives the lease table directly under a
+// jittered fake clock: a silent worker's rectangle must be reassigned after
+// the TTL, renewals must keep a lease alive past the TTL, and a stale
+// late result must be accepted idempotently without changing the outcome.
+func TestLeaseExpiryReassignment(t *testing.T) {
+	clock := newFakeClock(1)
+	co := newTestCoordinator(t, clock, 3, "")
+	if len(co.Rects()) != 3 {
+		t.Fatalf("%d rects, want 3", len(co.Rects()))
+	}
+
+	// A and B take the first two rectangles.
+	la := co.lease("A")
+	lb := co.lease("B")
+	if la.Rect == nil || lb.Rect == nil || la.Rect.ID != 0 || lb.Rect.ID != 1 {
+		t.Fatalf("initial leases: %+v %+v", la, lb)
+	}
+	// B heartbeats across several sub-TTL advances; A stays silent.
+	for i := 0; i < 4; i++ {
+		clock.advance(4 * time.Second) // cumulative > TTL, but each gap < TTL
+		if !co.renew("B", 1).OK {
+			t.Fatalf("heartbeat %d lost B's live lease", i)
+		}
+	}
+	// A's lease has now expired: the next hungry worker gets rect 0 back.
+	lc := co.lease("C")
+	if lc.Rect == nil || lc.Rect.ID != 0 {
+		t.Fatalf("expired rect 0 not reassigned: %+v", lc)
+	}
+	if co.renew("A", 0).OK {
+		t.Fatal("A still renews rect 0 after losing it")
+	}
+	if !co.renew("C", 0).OK {
+		t.Fatal("C cannot renew its fresh lease")
+	}
+	// Only rect 2 remains pending.
+	if ld := co.lease("D"); ld.Rect == nil || ld.Rect.ID != 2 {
+		t.Fatalf("rect 2 not leased: %+v", ld)
+	}
+	if lw := co.lease("E"); !lw.Wait {
+		t.Fatalf("everything leased, expected wait: %+v", lw)
+	}
+
+	// C reports rect 0; A's stale duplicate must be a no-op.
+	r0 := localRectResult(t, minCRN(), minFunc, co.Rects()[0], "C")
+	if resp, err := co.result(r0); err != nil || !resp.OK {
+		t.Fatalf("C's result rejected: %+v %v", resp, err)
+	}
+	stale := localRectResult(t, minCRN(), minFunc, co.Rects()[0], "A")
+	if resp, err := co.result(stale); err != nil || !resp.OK {
+		t.Fatalf("stale duplicate rejected: %+v %v", resp, err)
+	}
+
+	for _, id := range []int{1, 2} {
+		r := localRectResult(t, minCRN(), minFunc, co.Rects()[id], "B")
+		if resp, err := co.result(r); err != nil || !resp.OK {
+			t.Fatalf("rect %d result rejected: %+v %v", id, resp, err)
+		}
+	}
+	if lz := co.lease("Z"); !lz.Done {
+		t.Fatalf("job not done after all rects: %+v", lz)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	merged, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAsLocal(t, merged, nil, minCRN(), minFunc, []int64{0, 0}, []int64{3, 3})
+}
+
+// TestMergeStopsAtFirstFailingRect: a failure in an early rectangle must
+// produce the single-process result even when later rectangles completed
+// with their own (discarded) counts, and must not require rects past the
+// failing one.
+func TestMergeStopsAtFirstFailingRect(t *testing.T) {
+	co, err := NewCoordinator(CoordinatorConfig{
+		CRN: minCRN(), Func: "min",
+		Lo: []int64{0, 0}, Hi: []int64{3, 3},
+		Shards: 4, LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A spec that diverges from min only on the x1 ≥ 2 slabs: rects 0 and 1
+	// verify (their counts must all be in the merge), the grid's first
+	// failure is (2,0) in rect 2, and rect 3 holds a later failure that the
+	// merge must discard along with rect 3's counts.
+	badHigh := func(x []int64) int64 {
+		if x[0] >= 2 {
+			return min(x[0], x[1]) + 1
+		}
+		return min(x[0], x[1])
+	}
+	rects := co.Rects()
+	// Report out of order, later rects first.
+	for _, id := range []int{3, 0, 1} {
+		r := localRectResult(t, minCRN(), badHigh, rects[id], "w")
+		if resp, err := co.result(r); err != nil || !resp.OK {
+			t.Fatalf("rect %d: %+v %v", id, resp, err)
+		}
+	}
+	// Rect 3 is decided but rect 2 is still missing, so the run must not be
+	// finished yet: the true first failure could be (and is) in rect 2.
+	if st := co.status(); st["finished"] != false {
+		t.Fatalf("finished early: %v", st)
+	}
+	r := localRectResult(t, minCRN(), badHigh, rects[2], "w")
+	if resp, err := co.result(r); err != nil || !resp.OK {
+		t.Fatalf("rect 2: %+v %v", resp, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	merged, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAsLocal(t, merged, nil, minCRN(), badHigh, []int64{0, 0}, []int64{3, 3})
+	if merged.OK() || !slices.Equal(merged.Failure.Input, []int64{2, 0}) {
+		t.Fatalf("merged failure at %v, want [2 0]", merged.Failure)
+	}
+}
+
+// TestCheckpointResume: a fresh coordinator with the same job and checkpoint
+// file must resume from the completed rectangles, and a coordinator with a
+// different job must ignore the file.
+func TestCheckpointResume(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "ckpt.json")
+	co1 := newTestCoordinator(t, nil, 4, cp)
+	rects := co1.Rects()
+	for _, id := range []int{0, 2} {
+		r := localRectResult(t, minCRN(), minFunc, rects[id], "w")
+		if resp, err := co1.result(r); err != nil || !resp.OK {
+			t.Fatalf("rect %d: %+v %v", id, resp, err)
+		}
+	}
+
+	// Same job: rects 0 and 2 restored, first lease hands out rect 1.
+	co2 := newTestCoordinator(t, nil, 4, cp)
+	if st := co2.status(); st["done"] != 2 {
+		t.Fatalf("resumed status %v, want done=2", st)
+	}
+	if l := co2.lease("w"); l.Rect == nil || l.Rect.ID != 1 {
+		t.Fatalf("first lease after resume: %+v", l)
+	}
+	for _, id := range []int{1, 3} {
+		r := localRectResult(t, minCRN(), minFunc, rects[id], "w")
+		if resp, err := co2.result(r); err != nil || !resp.OK {
+			t.Fatalf("rect %d: %+v %v", id, resp, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	merged, err := co2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAsLocal(t, merged, nil, minCRN(), minFunc, []int64{0, 0}, []int64{3, 3})
+
+	// Different job (different grid): checkpoint ignored, nothing done.
+	co3, err := NewCoordinator(CoordinatorConfig{
+		CRN: minCRN(), Func: "min",
+		Lo: []int64{0, 0}, Hi: []int64{2, 2},
+		Shards: 4, Checkpoint: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := co3.status(); st["done"] != 0 {
+		t.Fatalf("mismatched checkpoint not ignored: %v", st)
+	}
+}
+
+// TestResultValidation: malformed reports are protocol errors, unknown rect
+// ids are rejected, and empty reports are rejected.
+func TestResultValidation(t *testing.T) {
+	co := newTestCoordinator(t, nil, 2, "")
+	if _, err := co.result(ResultRequest{Worker: "w", RectID: 99, Result: json.RawMessage(`{}`)}); err == nil {
+		t.Fatal("unknown rect accepted")
+	}
+	if _, err := co.result(ResultRequest{Worker: "w", RectID: 0}); err == nil {
+		t.Fatal("empty report accepted")
+	}
+	if _, err := co.result(ResultRequest{Worker: "w", RectID: 0, Result: json.RawMessage(`{"failure":{"verdict":{"witness":{"start":[1]}}}}`)}); err == nil {
+		t.Fatal("undecodable result accepted")
+	}
+}
+
+// assertSameAsLocal marshals merged and the local single-process CheckGrid
+// result and requires byte identity (and identical String renderings).
+func assertSameAsLocal(t *testing.T, merged reach.GridResult, mergedErr error, c *crn.CRN, f reach.Func, lo, hi []int64) {
+	t.Helper()
+	local, localErr := reach.CheckGrid(c, f, lo, hi)
+	if (mergedErr == nil) != (localErr == nil) {
+		t.Fatalf("error mismatch: merged %v, local %v", mergedErr, localErr)
+	}
+	if mergedErr != nil && mergedErr.Error() != localErr.Error() {
+		t.Fatalf("error mismatch: merged %q, local %q", mergedErr, localErr)
+	}
+	mb, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb, lb) {
+		t.Fatalf("merged result differs from local:\nmerged: %s\nlocal:  %s", mb, lb)
+	}
+	if merged.String() != local.String() {
+		t.Fatalf("String differs: %q vs %q", merged, local)
+	}
+}

@@ -1,0 +1,115 @@
+// Package dist shards reach.CheckGrid across processes and machines.
+//
+// A Coordinator splits the [lo,hi]^d grid into axis-aligned rectangles that
+// partition the grid into segments contiguous in canonical (lexicographic)
+// grid order, and hands them to Workers over plain HTTP+JSON under
+// time-bounded leases. A worker that crashes, hangs, or is killed simply
+// loses its lease: the rectangle goes back to the pending set and is
+// reassigned, so no failure schedule can lose the run. Completed rectangles
+// are checkpointed to disk, so a restarted coordinator resumes instead of
+// recomputing.
+//
+// # Determinism
+//
+// The merged result is byte-identical (in its JSON wire form and its
+// String rendering) to a single-process reach.CheckGrid over the same grid,
+// at any worker count, join order, or crash schedule:
+//
+//   - rectangles partition the grid into contiguous grid-order segments, and
+//     within a rectangle reach.CheckRect already has CheckGrid's
+//     deterministic first-failure-in-grid-order semantics;
+//   - the merge walks rectangles in grid order, summing counts, and stops at
+//     the first rectangle reporting a failure (including its partial counts)
+//     — exactly where the single-process run stops checking;
+//   - duplicate results for a rectangle (a lease expired, both the old and
+//     new holder reported) are identical by the engine's own determinism, so
+//     the coordinator keeps the first and drops the rest.
+//
+// # Protocol
+//
+// Four endpoints, all JSON:
+//
+//	GET  /job     → JobSpec    (the CRN text, function name, grid, budgets)
+//	POST /lease   LeaseRequest → LeaseResponse (a Rect under a TTL, or wait/done)
+//	POST /renew   RenewRequest → RenewResponse (heartbeat; false = lease lost)
+//	POST /result  ResultRequest → ResultResponse (a rectangle's GridResult)
+//
+// Workers resolve the function name themselves (the coordinator never ships
+// code), so coordinator and workers must agree on the function library —
+// cmd/crncheck wires both sides to core.Library.
+package dist
+
+import "encoding/json"
+
+// ProtocolVersion is bumped on any incompatible change to the wire types or
+// the checkpoint format. Workers reject jobs with a different version.
+const ProtocolVersion = 1
+
+// JobSpec describes the grid-checking job to a joining worker. MaxConfigs
+// and MaxCount are part of the job, not worker configuration: verdicts
+// depend on them, so every rectangle must be checked under the same budgets.
+type JobSpec struct {
+	Version    int     `json:"version"`
+	CRN        string  `json:"crn"`  // text format accepted by parse.Parse
+	Func       string  `json:"func"` // function name, resolved by the worker
+	Lo         []int64 `json:"lo"`
+	Hi         []int64 `json:"hi"`
+	MaxConfigs int     `json:"maxconfigs"`
+	MaxCount   int64   `json:"maxcount"`
+	Rects      int     `json:"rects"` // how many rectangles the grid was split into
+}
+
+// Rect is one axis-aligned shard of the grid: all inputs lo ≤ x ≤ hi.
+// IDs number the rectangles in canonical grid order.
+type Rect struct {
+	ID int     `json:"id"`
+	Lo []int64 `json:"lo"`
+	Hi []int64 `json:"hi"`
+}
+
+// LeaseRequest asks for a rectangle to check.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants a rectangle under a lease, asks the worker to poll
+// again later (Wait), or tells it the job is finished (Done).
+type LeaseResponse struct {
+	Done      bool  `json:"done,omitempty"`
+	Wait      bool  `json:"wait,omitempty"`
+	Rect      *Rect `json:"rect,omitempty"`
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+}
+
+// RenewRequest extends a lease while a long rectangle is being checked.
+type RenewRequest struct {
+	Worker string `json:"worker"`
+	RectID int    `json:"rect_id"`
+}
+
+// RenewResponse reports whether the lease is still held. OK=false means the
+// lease expired and the rectangle may have been reassigned; the worker may
+// keep computing (a duplicate result is accepted idempotently) or abandon.
+type RenewResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ResultRequest reports one rectangle's result. Result is the JSON encoding
+// of reach.GridResult and is always set by a well-behaved worker; Err is set
+// alongside it when enumeration stopped on a deterministic job error (a
+// negative f value, a bad initial configuration), in which case Result
+// carries the partial counts up to the error — the coordinator's merge
+// includes them, exactly as a local CheckGrid returns partial counts with
+// its error. An Err-only report (no Result) is accepted but loses those
+// partial counts; don't send one.
+type ResultRequest struct {
+	Worker string          `json:"worker"`
+	RectID int             `json:"rect_id"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// ResultResponse acknowledges a result report.
+type ResultResponse struct {
+	OK bool `json:"ok"`
+}

@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"crncompose/internal/crn"
+	"crncompose/internal/parse"
+	"crncompose/internal/reach"
+)
+
+// Worker joins a coordinator, leases rectangles, checks each one on the
+// local steal-pool engine (reach.CheckRect — the exact engine a local
+// CheckGrid uses), and reports results. Any number of workers may join and
+// leave at any time; a worker that dies mid-rectangle just lets its lease
+// expire.
+type Worker struct {
+	// Coordinator is the coordinator's base URL (host:port or http://...).
+	Coordinator string
+	// Name identifies the worker in leases and logs (default host-pid).
+	Name string
+	// Workers sizes the local work-stealing pool per rectangle
+	// (reach.WithWorkers semantics: 0 = all CPUs, 1 = sequential).
+	Workers int
+	// Resolve maps the job's function name to an evaluator. Required: the
+	// coordinator ships only the name, never code.
+	Resolve func(name string) (reach.Func, error)
+	// Poll is the lease-poll interval when no rectangle is available
+	// (default 50ms).
+	Poll time.Duration
+	// JoinTimeout bounds the initial retry loop fetching the job, so a
+	// worker started slightly before its coordinator still joins
+	// (default 15s).
+	JoinTimeout time.Duration
+	// Client, when non-nil, overrides the HTTP client.
+	Client *http.Client
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+
+	// testLeased, when non-nil, runs right after a lease is granted; a
+	// non-nil error kills the worker mid-rectangle without reporting —
+	// how tests simulate a crashed worker.
+	testLeased func(Rect) error
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run joins the coordinator and processes rectangles until the job is done
+// (returns nil), ctx is canceled, or the job cannot be joined or understood.
+// A coordinator that disappears after a successful join also ends the run
+// with nil: the job is over as far as this worker can tell.
+func (w *Worker) Run(ctx context.Context) error {
+	client := w.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	base := strings.TrimSuffix(w.Coordinator, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	joinTimeout := w.JoinTimeout
+	if joinTimeout <= 0 {
+		joinTimeout = 15 * time.Second
+	}
+	name := w.Name
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	// Join: fetch the job, retrying so worker/coordinator start order does
+	// not matter.
+	var job JobSpec
+	deadline := time.Now().Add(joinTimeout)
+	for {
+		err := getJSON(ctx, client, base+"/job", &job)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dist: joining %s: %w", base, err)
+		}
+		sleepCtx(ctx, poll)
+	}
+	if job.Version != ProtocolVersion {
+		return fmt.Errorf("dist: coordinator speaks protocol %d, this worker %d", job.Version, ProtocolVersion)
+	}
+	c, err := parse.Parse(job.CRN)
+	if err != nil {
+		return fmt.Errorf("dist: parsing job CRN: %w", err)
+	}
+	f, err := w.Resolve(job.Func)
+	if err != nil {
+		return fmt.Errorf("dist: resolving %q: %w", job.Func, err)
+	}
+	opts := []reach.Option{
+		reach.WithMaxConfigs(job.MaxConfigs),
+		reach.WithMaxCount(job.MaxCount),
+		reach.WithWorkers(w.Workers),
+	}
+	w.logf("worker %s: joined %s (%s on %d rects)", name, base, job.Func, job.Rects)
+
+	misses := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var lr LeaseResponse
+		if err := postJSON(ctx, client, base+"/lease", LeaseRequest{Worker: name}, &lr); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			misses++
+			if misses > 3 {
+				w.logf("worker %s: coordinator gone (%v); exiting", name, err)
+				return nil
+			}
+			sleepCtx(ctx, poll)
+			continue
+		}
+		misses = 0
+		switch {
+		case lr.Done:
+			w.logf("worker %s: job done", name)
+			return nil
+		case lr.Rect == nil:
+			sleepCtx(ctx, poll)
+			continue
+		}
+		rect := *lr.Rect
+		if w.testLeased != nil {
+			if err := w.testLeased(rect); err != nil {
+				return err
+			}
+		}
+		if err := w.checkRect(ctx, client, base, name, c, f, rect, lr, opts); err != nil {
+			return err
+		}
+	}
+}
+
+// checkRect runs one leased rectangle with a heartbeat renewing the lease,
+// then reports the result. A result that cannot be delivered is dropped:
+// the lease expires and the rectangle is recomputed elsewhere.
+func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name string, c *crn.CRN, f reach.Func, rect Rect, lr LeaseResponse, opts []reach.Option) error {
+	ttl := time.Duration(lr.TTLMillis) * time.Millisecond
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	if ttl > 0 {
+		hb.Add(1)
+		go func() {
+			defer hb.Done()
+			t := time.NewTicker(max(ttl/3, time.Millisecond))
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					var rr RenewResponse
+					if err := postJSON(ctx, client, base+"/renew", RenewRequest{Worker: name, RectID: rect.ID}, &rr); err == nil && !rr.OK {
+						w.logf("worker %s: lost lease on rect %d (still computing; duplicate result is harmless)", name, rect.ID)
+					}
+				}
+			}
+		}()
+	}
+	w.logf("worker %s: checking rect %d %v..%v", name, rect.ID, rect.Lo, rect.Hi)
+	res, rerr := reach.CheckRect(c, f, rect.Lo, rect.Hi, opts...)
+	close(stop)
+	hb.Wait()
+
+	req := ResultRequest{Worker: name, RectID: rect.ID}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("dist: encoding rect %d result: %w", rect.ID, err)
+	}
+	req.Result = raw
+	if rerr != nil {
+		req.Err = rerr.Error()
+	}
+	var ack ResultResponse
+	var perr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if perr = postJSON(ctx, client, base+"/result", req, &ack); perr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		sleepCtx(ctx, w.pollInterval())
+	}
+	w.logf("worker %s: dropping result for rect %d (%v); lease will expire", name, rect.ID, perr)
+	return nil
+}
+
+func (w *Worker) pollInterval() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 50 * time.Millisecond
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// getJSON fetches url and decodes the JSON response into out.
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(client, req, out)
+}
+
+// postJSON posts in as JSON to url and decodes the JSON response into out.
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(client, req, out)
+}
+
+func doJSON(client *http.Client, req *http.Request, out any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -169,10 +170,23 @@ func exploreParallel(root crn.Config, o Options) *Graph {
 	return g
 }
 
+// replayState is the canonical-renumbering state threaded across levels.
+type replayState struct {
+	// canon maps provisional ids to canonical ids (-1 = not yet discovered in
+	// canonical order); provOf is the inverse, in canonical order.
+	canon     []int32
+	provOf    []int32
+	succOff   []int32
+	ncanon    int  // canonical ids assigned so far
+	truncated bool // MaxConfigs cut hit mid-level
+}
+
 // explorePooled is the renumbering engine: it enumerates the reachable
 // configurations level-synchronized, expanding each level with the help of
-// whatever pool workers are idle, and replays every level sequentially into
-// canonical ids. The caller must hold an owner registration on pool for the
+// whatever pool workers are idle, and replays every level into canonical
+// ids — sequentially for small frontiers, with prefix-summed first-discovery
+// counts on the pool for large ones (replayLevelPar); both produce identical
+// output. The caller must hold an owner registration on pool for the
 // duration of the call.
 func explorePooled(root crn.Config, o Options, pool *stealPool) *Graph {
 	c := root.CRN()
@@ -184,59 +198,37 @@ func explorePooled(root crn.Config, o Options, pool *stealPool) *Graph {
 	rootRow := root.CountsRef()
 	in.lookupOrAdd(rootRow, vec.Hash64(rootRow))
 
-	// canon maps provisional ids to canonical ids (-1 = not yet discovered in
-	// canonical order); provOf is the inverse, appended in canonical order.
-	canon := make([]int32, 1, 1024)
-	provOf := make([]int32, 1, 1024)
+	st := &replayState{
+		canon:   make([]int32, 1, 1024),
+		provOf:  make([]int32, 1, 1024),
+		succOff: make([]int32, 1, 1024),
+		ncanon:  1,
+	}
 	g.parent = append(g.parent, -1)
 	g.parentVia = append(g.parentVia, -1)
 
 	frontier := []int32{0} // provisional ids of the current level, canonical order
 	frontCanonStart := 0   // canonical id of frontier[0]
-	ncanon := 1            // canonical ids assigned so far
-	succOff := make([]int32, 1, 1024)
-	truncated := false
 
-	for len(frontier) > 0 && !truncated {
+	for len(frontier) > 0 && !st.truncated {
 		// ncanon here counts every node through the end of this frontier, so
 		// if it already exceeds the budget the replay below would truncate at
 		// j=0 — the sequential engine stops at the same head. Bail before
 		// paying for a full level of expansion that would all be discarded.
-		if ncanon > o.MaxConfigs {
+		if st.ncanon > o.MaxConfigs {
 			g.Complete = false
 			break
 		}
+		nStart := in.n()
 		results := expandLevel(c, in, frontier, nR, o, pool)
-		for len(canon) < in.n() {
-			canon = append(canon, -1)
+		for len(st.canon) < in.n() {
+			st.canon = append(st.canon, -1)
 		}
 		var next []int32
-		for j := range frontier {
-			if ncanon > o.MaxConfigs {
-				g.Complete = false
-				truncated = true
-				break
-			}
-			u := int32(frontCanonStart + j)
-			r := &results[j]
-			if r.overflow {
-				g.Complete = false
-			}
-			for _, e := range r.edges {
-				cid := canon[e.pid]
-				if cid < 0 {
-					cid = int32(ncanon)
-					ncanon++
-					canon[e.pid] = cid
-					provOf = append(provOf, e.pid)
-					g.parent = append(g.parent, u)
-					g.parentVia = append(g.parentVia, e.ri)
-					next = append(next, e.pid)
-				}
-				g.succ = append(g.succ, cid)
-				g.via = append(g.via, e.ri)
-			}
-			succOff = append(succOff, int32(len(g.succ)))
+		if len(frontier) >= replayMinFrontier {
+			next = replayLevelPar(g, st, frontier, results, frontCanonStart, o.MaxConfigs, nStart, pool)
+		} else {
+			next = replayLevelSeq(g, st, frontier, results, frontCanonStart, o.MaxConfigs)
 		}
 		frontCanonStart += len(frontier)
 		frontier = next
@@ -244,14 +236,210 @@ func explorePooled(root crn.Config, o Options, pool *stealPool) *Graph {
 
 	// Close the offset table over discovered-but-unexpanded nodes, then copy
 	// the surviving rows into a flat arena in canonical order.
-	for len(succOff) < ncanon+1 {
-		succOff = append(succOff, int32(len(g.succ)))
+	for len(st.succOff) < st.ncanon+1 {
+		st.succOff = append(st.succOff, int32(len(g.succ)))
 	}
-	g.succOff = succOff
-	g.arena = make([]int64, ncanon*d)
-	for cid, pid := range provOf {
+	g.succOff = st.succOff
+	g.arena = make([]int64, st.ncanon*d)
+	for cid, pid := range st.provOf[:st.ncanon] {
 		copy(g.arena[cid*d:(cid+1)*d], in.arena.row(pid))
 	}
 	g.buildPred()
 	return g
+}
+
+// replayLevelSeq is the sequential renumbering replay: walk the frontier in
+// canonical order and each node's recorded edges in reaction order, assigning
+// canonical ids at first discovery, applying the MaxConfigs cut at the same
+// head boundary the sequential engine would. Returns the next frontier
+// (provisional ids in canonical order).
+func replayLevelSeq(g *Graph, st *replayState, frontier []int32, results []levelResult, frontCanonStart, maxConfigs int) []int32 {
+	var next []int32
+	for j := range frontier {
+		if st.ncanon > maxConfigs {
+			g.Complete = false
+			st.truncated = true
+			break
+		}
+		u := int32(frontCanonStart + j)
+		r := &results[j]
+		if r.overflow {
+			g.Complete = false
+		}
+		for _, e := range r.edges {
+			cid := st.canon[e.pid]
+			if cid < 0 {
+				cid = int32(st.ncanon)
+				st.ncanon++
+				st.canon[e.pid] = cid
+				st.provOf = append(st.provOf, e.pid)
+				g.parent = append(g.parent, u)
+				g.parentVia = append(g.parentVia, e.ri)
+				next = append(next, e.pid)
+			}
+			g.succ = append(g.succ, cid)
+			g.via = append(g.via, e.ri)
+		}
+		st.succOff = append(st.succOff, int32(len(g.succ)))
+	}
+	return next
+}
+
+// replayMinFrontier is the frontier size above which the renumbering replay
+// itself runs on the pool (replayLevelPar) instead of sequentially. The
+// replay is ~10-15% of explore time on big graphs, but each parallel pass
+// costs a publish/claim barrier, so small levels stay sequential. A variable
+// so tests can force the parallel replay onto small graphs.
+var replayMinFrontier = 1024
+
+// replayParGrain is the claim batch size of the parallel replay passes.
+const replayParGrain = 256
+
+// replayLevelPar renumbers one expanded level in parallel, byte-identically
+// to replayLevelSeq. The sequential replay assigns canonical ids in (frontier
+// order, edge order) of first discovery — a sequential dependency that is
+// broken in four data-parallel passes over the frontier:
+//
+//  1. disc: for every provisional id first interned this level, the minimum
+//     frontier index referencing it (atomic min) — its discovering node.
+//  2. count: per frontier node, how many ids it discovers (its locally-first
+//     references whose disc is that node); a sequential prefix sum over these
+//     counts yields each node's canonical-id base, which is exactly the
+//     number of ids the sequential replay would have assigned before reaching
+//     it — so the MaxConfigs cut lands on the same head boundary, found by
+//     binary search on the monotone base array.
+//  3. assign: each node writes canonical ids base[j], base[j]+1, ... to its
+//     discoveries in local edge order, along with parent/parentVia/provOf —
+//     disjoint writes, since an id has exactly one discovering node.
+//  4. emit: with every referenced id now canonical, each node fills its
+//     pre-sized slice of the CSR edge arrays.
+//
+// Passes run via parallelFor on the same steal pool as the expansion, so
+// idle grid workers accelerate the replay too.
+func replayLevelPar(g *Graph, st *replayState, frontier []int32, results []levelResult, frontCanonStart, maxConfigs, nStart int, pool *stealPool) []int32 {
+	nf := len(frontier)
+	nNew := len(st.canon) - nStart // provisional ids interned this level
+
+	// Pass 1: discovering node of every new provisional id.
+	disc := make([]atomic.Int32, nNew)
+	for i := range disc {
+		disc[i].Store(int32(nf)) // sentinel: larger than any frontier index
+	}
+	parallelFor(pool, nf, replayParGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for _, e := range results[j].edges {
+				if int(e.pid) >= nStart {
+					atomicMin32(&disc[int(e.pid)-nStart], int32(j))
+				}
+			}
+		}
+	})
+
+	// Pass 2: per-node first-discovery counts, prefix-summed into the
+	// canonical-id base of each node's discoveries.
+	base := make([]int32, nf+1)
+	parallelFor(pool, nf, replayParGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			n := int32(0)
+			edges := results[j].edges
+			for k := range edges {
+				if isFirstDiscovery(edges, k, nStart, disc, j) {
+					n++
+				}
+			}
+			base[j+1] = n
+		}
+	})
+	for j := 0; j < nf; j++ {
+		base[j+1] += base[j]
+	}
+
+	// The sequential replay checks the budget before expanding node j, when
+	// st.ncanon + base[j] ids exist; cut at the first node failing that.
+	cut := sort.Search(nf, func(j int) bool { return st.ncanon+int(base[j]) > maxConfigs })
+	if cut < nf {
+		g.Complete = false
+		st.truncated = true
+	}
+	for j := 0; j < cut; j++ {
+		if results[j].overflow {
+			g.Complete = false
+		}
+	}
+
+	totalNew := int(base[cut])
+	edgeOff := make([]int32, cut+1)
+	for j := 0; j < cut; j++ {
+		edgeOff[j+1] = edgeOff[j] + int32(len(results[j].edges))
+	}
+	prevEdges := len(g.succ)
+	g.succ = append(g.succ, make([]int32, edgeOff[cut])...)
+	g.via = append(g.via, make([]int32, edgeOff[cut])...)
+	g.parent = append(g.parent, make([]int32, totalNew)...)
+	g.parentVia = append(g.parentVia, make([]int32, totalNew)...)
+	st.provOf = append(st.provOf, make([]int32, totalNew)...)
+	ncanon0 := st.ncanon
+
+	// Pass 3: assign canonical ids to this level's discoveries.
+	parallelFor(pool, cut, replayParGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			u := int32(frontCanonStart + j)
+			local := int32(0)
+			edges := results[j].edges
+			for k, e := range edges {
+				if isFirstDiscovery(edges, k, nStart, disc, j) {
+					cid := int32(ncanon0) + base[j] + local
+					local++
+					st.canon[e.pid] = cid
+					st.provOf[cid] = e.pid
+					g.parent[cid] = u
+					g.parentVia[cid] = e.ri
+				}
+			}
+		}
+	})
+
+	// Pass 4: emit CSR edges; every referenced id is canonical now.
+	parallelFor(pool, cut, replayParGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			off := prevEdges + int(edgeOff[j])
+			for k, e := range results[j].edges {
+				g.succ[off+k] = st.canon[e.pid]
+				g.via[off+k] = e.ri
+			}
+		}
+	})
+
+	for j := 0; j < cut; j++ {
+		st.succOff = append(st.succOff, int32(prevEdges)+edgeOff[j+1])
+	}
+	st.ncanon = ncanon0 + totalNew
+	return st.provOf[ncanon0:st.ncanon]
+}
+
+// isFirstDiscovery reports whether edges[k] is node j's discovery of its
+// successor: the successor was first interned this level, j is its
+// minimum-index referencing node, and no earlier edge of j references it
+// (edge lists are at most one entry per reaction, so the scan is short).
+func isFirstDiscovery(edges []levelEdge, k, nStart int, disc []atomic.Int32, j int) bool {
+	pid := edges[k].pid
+	if int(pid) < nStart || disc[int(pid)-nStart].Load() != int32(j) {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if edges[i].pid == pid {
+			return false
+		}
+	}
+	return true
+}
+
+// atomicMin32 lowers a to v if v is smaller.
+func atomicMin32(a *atomic.Int32, v int32) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }

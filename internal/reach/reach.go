@@ -561,29 +561,44 @@ func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, 
 	}
 }
 
-// GridResult summarizes a CheckGrid run.
+// CheckRect is CheckGrid on one axis-aligned rectangle of a larger grid —
+// the shard-shaped entry point used by the distributed checker
+// (internal/dist). Rectangles that partition a grid into segments contiguous
+// in canonical (lexicographic) grid order merge deterministically: counts
+// sum rectangle by rectangle in grid order, and merging stops at the first
+// rectangle reporting a failure (or enumeration error), whose partial counts
+// are included. The merged GridResult is then byte-identical to a single
+// CheckGrid over the whole grid, because within a rectangle CheckRect has
+// exactly CheckGrid's first-failure-in-grid-order semantics.
+func CheckRect(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, error) {
+	return CheckGrid(c, f, lo, hi, opts...)
+}
+
+// GridResult summarizes a CheckGrid run. The JSON encoding is the wire form
+// used by the distributed checker and by crncheck -json; decode with
+// UnmarshalGridResult (the witness configurations need the CRN to rebind).
 type GridResult struct {
-	Checked      int
-	Inconclusive int
-	Explored     int
-	Failure      *GridFailure
+	Checked      int          `json:"checked"`
+	Inconclusive int          `json:"inconclusive"`
+	Explored     int          `json:"explored"`
+	Failure      *GridFailure `json:"failure,omitempty"`
 }
 
 // GridFailure records the first refuted input.
 type GridFailure struct {
-	Input   []int64
-	Want    int64
-	Verdict Verdict
+	Input   []int64 `json:"input"`
+	Want    int64   `json:"want"`
+	Verdict Verdict `json:"verdict"`
 }
 
 // OK reports whether every input verified (no failures; inconclusive inputs
 // are tolerated and counted separately).
 func (r GridResult) OK() bool { return r.Failure == nil }
 
-// String summarizes the result.
+// String summarizes the result using the same field names as the JSON form.
 func (r GridResult) String() string {
 	if r.Failure != nil {
-		return fmt.Sprintf("FAIL at x=%v (want %d): %v", r.Failure.Input, r.Failure.Want, r.Failure.Verdict.Err)
+		return fmt.Sprintf("FAIL at input=%v (want %d): %v", r.Failure.Input, r.Failure.Want, r.Failure.Verdict.Err)
 	}
-	return fmt.Sprintf("ok: %d inputs verified (%d inconclusive, %d configs explored)", r.Checked, r.Inconclusive, r.Explored)
+	return fmt.Sprintf("ok: %d checked (%d inconclusive, %d explored)", r.Checked, r.Inconclusive, r.Explored)
 }

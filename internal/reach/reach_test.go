@@ -243,14 +243,14 @@ func TestGridInconclusiveCounting(t *testing.T) {
 
 func TestGridResultString(t *testing.T) {
 	ok := GridResult{Checked: 9, Inconclusive: 1, Explored: 1234}
-	if s := ok.String(); !strings.Contains(s, "9 inputs verified") || !strings.Contains(s, "1234 configs") {
+	if s := ok.String(); !strings.Contains(s, "9 checked") || !strings.Contains(s, "1234 explored") {
 		t.Errorf("ok String() = %q", s)
 	}
 	fail := GridResult{
 		Checked: 2,
 		Failure: &GridFailure{Input: []int64{1, 2}, Want: 3, Verdict: Verdict{Err: ErrBudget}},
 	}
-	if s := fail.String(); !strings.Contains(s, "FAIL at x=[1 2]") || !strings.Contains(s, "want 3") {
+	if s := fail.String(); !strings.Contains(s, "FAIL at input=[1 2]") || !strings.Contains(s, "want 3") {
 		t.Errorf("fail String() = %q", s)
 	}
 }
