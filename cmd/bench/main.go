@@ -1,8 +1,9 @@
-// Command bench runs the reachability and simulation benchmark suites and
-// writes machine-readable results to BENCH_reach.json and BENCH_sim.json,
+// Command bench runs the reachability, simulation, distributed-checking,
+// and serve benchmark suites and writes machine-readable results to
+// BENCH_reach.json, BENCH_sim.json, BENCH_dist.json, and BENCH_serve.json,
 // so the performance trajectory of the hot paths (configs/sec explored,
-// ns per simulated reaction, allocations) is tracked in-repo from PR 2
-// forward.
+// ns per simulated reaction, served requests/sec cold vs cached,
+// allocations) is tracked in-repo from PR 2 forward.
 //
 // Usage:
 //
@@ -17,6 +18,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -30,6 +33,7 @@ import (
 	"crncompose/internal/dist"
 	"crncompose/internal/reach"
 	"crncompose/internal/semilinear"
+	"crncompose/internal/serve"
 	"crncompose/internal/sim"
 	"crncompose/internal/synth"
 	"crncompose/internal/vec"
@@ -58,7 +62,7 @@ type suiteReport struct {
 func main() {
 	quick := flag.Bool("quick", false, "small workloads for CI smoke runs")
 	outdir := flag.String("outdir", ".", "directory for BENCH_*.json")
-	suite := flag.String("suite", "all", "which suite to run: reach, sim, dist, or all")
+	suite := flag.String("suite", "all", "which suite to run: reach, sim, dist, serve, or all")
 	flag.Parse()
 
 	if *suite == "reach" || *suite == "all" {
@@ -73,6 +77,11 @@ func main() {
 	}
 	if *suite == "dist" || *suite == "all" {
 		if err := writeReport(*outdir, "BENCH_dist.json", distSuite(*quick)); err != nil {
+			fatal(err)
+		}
+	}
+	if *suite == "serve" || *suite == "all" {
+		if err := writeReport(*outdir, "BENCH_serve.json", serveSuite(*quick)); err != nil {
 			fatal(err)
 		}
 	}
@@ -335,6 +344,95 @@ func runDistOnce(b *testing.B, c *crn.CRN, lo, hi []int64) reach.GridResult {
 		b.Fatal(err)
 	}
 	return res
+}
+
+// serveSuite measures the verification service end to end over real
+// localhost HTTP on the branchy 8×8 grid: cold /v1/check (the cache is
+// flushed every iteration, so each request runs the engine) versus cached
+// (content-addressed replay of the stored bytes). Every iteration's body is
+// asserted byte-identical to the local engine's crncheck -json encoding —
+// the serve layer's core contract stays under measurement, and the
+// cold/cached ratio is the factor a repeated identical request gets back
+// from the cache.
+func serveSuite(quick bool) suiteReport {
+	rep := newReport("serve", quick)
+	c := benchcrn.Branchy()
+	h := int64(7)
+	if quick {
+		h = 4
+	}
+	lo, hi := []int64{0, 0}, []int64{h, h}
+	f := func(x []int64) int64 { return max(x[0], x[1]) }
+	res, err := reach.CheckGrid(c, f, lo, hi, reach.WithWorkers(0), reach.WithMaxConfigs(1<<20))
+	if err != nil || !res.OK() {
+		fatal(fmt.Errorf("branchy reference grid: %v %v", err, res))
+	}
+	want, err := reach.MarshalGridResultIndent(res)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := serve.New(serve.Config{CacheMax: 64, SyncGridLimit: 1 << 30})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	url := "http://" + s.Addr().String() + "/v1/check"
+	reqBody, err := json.Marshal(map[string]any{"crn": c.String(), "func": "max", "hi": h})
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	tryCheck := func() error {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return err
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%v %d %s", err, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("served body differs from crncheck -json:\n%s\nwant:\n%s", got, want)
+		}
+		return nil
+	}
+	doCheck := func(b *testing.B) {
+		if err := tryCheck(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	name := fmt.Sprintf("serve_check_branchy_%dx%d", h+1, h+1)
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.FlushCache()
+			doCheck(b)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toRecord(name+"_cold", cold))
+
+	if err := tryCheck(); err != nil { // prime the cache outside the timer
+		fatal(err)
+	}
+	cached := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			doCheck(b)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+	rec := toRecord(name+"_cached", cached)
+	rec.Extra = withExtra(rec.Extra, "cold_vs_cached", float64(cold.NsPerOp())/float64(cached.NsPerOp()))
+	rep.Benchmarks = append(rep.Benchmarks, rec)
+	return rep
 }
 
 // withExtra sets key in the (possibly nil) extra-metric map.

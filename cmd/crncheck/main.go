@@ -33,7 +33,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -177,11 +176,11 @@ func runWorker(addr string, workers int) error {
 }
 
 func writeJSONResult(out io.Writer, res reach.GridResult) error {
-	b, err := json.MarshalIndent(res, "", "  ")
+	b, err := reach.MarshalGridResultIndent(res)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(out, "%s\n", b)
+	_, err = out.Write(b)
 	return err
 }
 

@@ -1,0 +1,98 @@
+// Command crnserve runs the verification service (internal/serve): a
+// long-running HTTP+JSON server exposing classification, synthesis, model
+// checking, and simulation over the same engines the one-shot CLIs use,
+// with a content-addressed result cache and in-flight deduplication so
+// repeated or concurrent identical requests cost one computation, and
+// asynchronous jobs for large grid checks.
+//
+// Flags:
+//
+//	-addr addr          listen address (default :7542)
+//	-workers n          reach worker budget for synchronous checks and local
+//	                    jobs (0 = all CPUs)
+//	-cache-max n        result-cache capacity in entries, LRU-evicted beyond
+//	                    it (default 1024; -1 disables caching)
+//	-sync-grid n        largest grid (input points) checked synchronously on
+//	                    the request path; larger checks become async jobs
+//	                    (default 512)
+//	-dist-coordinator addr
+//	                    run async jobs through an internal/dist coordinator
+//	                    on this host:port — external workers join with
+//	                    `crncheck -join addr` and compute the rectangles
+//	-shards n           rectangles per job: progress (and, in dist mode,
+//	                    lease) granularity (0 = 16)
+//	-lease d            dist-mode lease TTL before a silent worker's
+//	                    rectangle is reassigned (default 30s)
+//
+// Quickstart:
+//
+//	crnserve -addr :7542 &
+//	curl -s :7542/v1/synthesize -d '{"func":"min"}'
+//	curl -s :7542/v1/check -d '{"crn":"...","func":"min","hi":5}'
+//
+// A /v1/check response is byte-identical to `crncheck -json` for the same
+// CRN, function, and bounds; see README.md ("Serving") for the full tour.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crncompose/internal/dist"
+	"crncompose/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "crnserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until ctx is done (nil ctx = interrupt).
+// The listening address is printed to out once the server is up.
+func run(args []string, out io.Writer, ctx context.Context) error {
+	fs := flag.NewFlagSet("crnserve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":7542", "listen address")
+		workers   = fs.Int("workers", 0, "reach worker budget for synchronous checks and local jobs (0 = all CPUs)")
+		cacheMax  = fs.Int("cache-max", serve.DefaultCacheMax, "result-cache capacity in entries, LRU-evicted beyond it (-1 disables caching)")
+		syncGrid  = fs.Int64("sync-grid", serve.DefaultSyncGridLimit, "largest grid (input points) checked synchronously; larger checks become async jobs")
+		distCoord = fs.String("dist-coordinator", "", "run async jobs through a dist coordinator on this host:port (workers join with `crncheck -join`)")
+		shards    = fs.Int("shards", 0, "rectangles per async job: progress and lease granularity (0 = 16)")
+		lease     = fs.Duration("lease", dist.DefaultLeaseTTL, "dist-mode lease TTL before a silent worker's rectangle is reassigned")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := serve.New(serve.Config{
+		Workers:         *workers,
+		CacheMax:        *cacheMax,
+		SyncGridLimit:   *syncGrid,
+		DistCoordinator: *distCoord,
+		Shards:          *shards,
+		LeaseTTL:        *lease,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "crnserve: "+format+"\n", args...)
+		},
+	})
+	if err := s.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "crnserve: listening on %s\n", s.Addr())
+	if ctx == nil {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(sctx)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndShutsDown boots the real command path on an ephemeral
+// port, checks liveness and one round trip, then shuts down via context.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, out, ctx)
+	}()
+
+	base := ""
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		s := out.String()
+		if i := strings.Index(s, "listening on "); i >= 0 && strings.Contains(s[i:], "\n") {
+			addr := s[i+len("listening on "):]
+			base = "http://" + strings.TrimSpace(addr[:strings.Index(addr, "\n")])
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address: %q", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	body := `{"crn":"#input X1 X2\n#output Y\nX1 + X2 -> Y\n","func":"min","hi":1}`
+	resp, err = http.Post(base+"/v1/check", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(buf.Bytes(), []byte(`"checked": 4`)) {
+		t.Fatalf("check: %d %s", resp.StatusCode, buf.String())
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancel")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out, context.Background()); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:99999"}, &out, context.Background()); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// syncWriter serializes writes so the polling reader above is race-free.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}

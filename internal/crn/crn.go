@@ -102,6 +102,9 @@ type CRN struct {
 
 	depsOnce   sync.Once // guards the lazy dependency graph build
 	dependents [][]int32 // reaction → reactions whose applicability it can change
+
+	simOnce sync.Once // guards the sim-opaque slot below
+	simSlot any       // whatever the simulator memoizes per CRN (see SimSlot)
 }
 
 type compiledReaction struct {
@@ -308,6 +311,18 @@ func (c *CRN) buildDependents() {
 		slices.Sort(deps)
 		c.dependents[ri] = slices.Compact(deps)
 	}
+}
+
+// SimSlot returns the simulator-opaque value memoized on this CRN, building
+// it with build on the first call (same sync.Once discipline as the species
+// index and the dependency graph — safe for concurrent first call). The slot
+// exists so internal/sim can cache its per-CRN compiled view without crn
+// importing sim; the stored value must be immutable after build, since every
+// simulation run on this CRN shares it. Exactly one caller (the simulator)
+// owns the slot's type.
+func (c *CRN) SimSlot(build func() any) any {
+	c.simOnce.Do(func() { c.simSlot = build() })
+	return c.simSlot
 }
 
 // IsOutputOblivious reports whether the output species never appears as a

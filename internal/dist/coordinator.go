@@ -91,6 +91,9 @@ type Coordinator struct {
 	mergedErr error
 	doneCh    chan struct{}
 
+	closeOnce sync.Once
+	closingCh chan struct{} // closed on Shutdown; wakes parked /lease long-polls
+
 	srv *http.Server
 	ln  net.Listener
 }
@@ -145,14 +148,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	sum := sha256.Sum256(jb)
 	co := &Coordinator{
-		cfg:    cfg,
-		job:    job,
-		jobSum: hex.EncodeToString(sum[:]),
-		rects:  rects,
-		ttl:    cfg.LeaseTTL,
-		now:    time.Now,
-		states: make([]rectState, len(rects)),
-		doneCh: make(chan struct{}),
+		cfg:       cfg,
+		job:       job,
+		jobSum:    hex.EncodeToString(sum[:]),
+		rects:     rects,
+		ttl:       cfg.LeaseTTL,
+		now:       time.Now,
+		states:    make([]rectState, len(rects)),
+		doneCh:    make(chan struct{}),
+		closingCh: make(chan struct{}),
 	}
 	if cfg.Checkpoint != "" {
 		co.mu.Lock()
@@ -197,6 +201,71 @@ func (co *Coordinator) lease(worker string) LeaseResponse {
 		return LeaseResponse{Rect: &r, TTLMillis: co.ttl.Milliseconds()}
 	}
 	return LeaseResponse{Wait: true}
+}
+
+// leaseWait is lease with long-polling: when no rectangle is immediately
+// available it parks the request for up to wait (clamped to the lease TTL,
+// the protocol's bound on how long a single poll may hang) and answers as
+// soon as one could be — the job finishing, the server shutting down, or an
+// outstanding lease expiring, which is the only event that returns a
+// rectangle to the pending set and is purely time-driven, so the park sleeps
+// exactly until the earliest outstanding deadline rather than spinning. A
+// Wait answer therefore means "the window closed empty; poll again", and
+// replaces the old worker-side 50ms polling loop with one parked request per
+// TTL-bounded window.
+func (co *Coordinator) leaseWait(worker string, wait time.Duration) LeaseResponse {
+	if wait > co.ttl {
+		wait = co.ttl
+	}
+	resp := co.lease(worker)
+	if wait <= 0 || !resp.Wait {
+		return resp
+	}
+	deadline := co.now().Add(wait)
+	for {
+		// Sleep until the earliest outstanding lease deadline (the soonest a
+		// rectangle can free up) or the end of the window, whichever is first.
+		wake := deadline
+		co.mu.Lock()
+		for id := range co.states {
+			st := &co.states[id]
+			if st.status == rectLeased && st.deadline.Before(wake) {
+				wake = st.deadline
+			}
+		}
+		co.mu.Unlock()
+		d := max(wake.Sub(co.now()), time.Millisecond)
+		t := time.NewTimer(d)
+		select {
+		case <-co.doneCh:
+		case <-co.closingCh:
+		case <-t.C:
+		}
+		t.Stop()
+		resp = co.lease(worker)
+		if !resp.Wait || !co.now().Before(deadline) {
+			return resp
+		}
+		select {
+		case <-co.closingCh:
+			return resp // shutting down; don't re-park
+		default:
+		}
+	}
+}
+
+// Progress reports how many rectangles have completed out of the total —
+// the unit async job progress is surfaced in (internal/serve reports it for
+// jobs handed to a coordinator).
+func (co *Coordinator) Progress() (done, total int) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for id := range co.states {
+		if co.states[id].status == rectDone {
+			done++
+		}
+	}
+	return done, len(co.states)
 }
 
 // renew extends worker's lease on rectID. A false response means the lease
@@ -339,7 +408,7 @@ func (co *Coordinator) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, co.lease(req.Worker))
+		writeJSON(w, co.leaseWait(req.Worker, time.Duration(req.WaitMillis)*time.Millisecond))
 	})
 	mux.HandleFunc("POST /renew", func(w http.ResponseWriter, r *http.Request) {
 		var req RenewRequest
@@ -424,8 +493,10 @@ func (co *Coordinator) Wait(ctx context.Context) (reach.GridResult, error) {
 	}
 }
 
-// Shutdown stops the HTTP server.
+// Shutdown stops the HTTP server, first waking any parked /lease long-polls
+// so graceful shutdown is not held up by the long-poll window.
 func (co *Coordinator) Shutdown(ctx context.Context) error {
+	co.closeOnce.Do(func() { close(co.closingCh) })
 	if co.srv == nil {
 		return nil
 	}

@@ -104,6 +104,62 @@ func TestLeaseExpiryReassignment(t *testing.T) {
 	assertSameAsLocal(t, merged, nil, minCRN(), minFunc, []int64{0, 0}, []int64{3, 3})
 }
 
+// TestLeaseLongPoll: a parked /lease request must be answered early — when
+// an outstanding lease expires (the only event returning a rectangle to the
+// pending set) and when the job finishes — instead of the worker polling
+// every 50ms or the request hanging for the full window. Real clock: the
+// park's wakeup timers are wall-time driven.
+func TestLeaseLongPoll(t *testing.T) {
+	ttl := 300 * time.Millisecond
+	co, err := NewCoordinator(CoordinatorConfig{
+		CRN: minCRN(), Func: "min",
+		Lo: []int64{0, 0}, Hi: []int64{3, 3},
+		Shards: 1, LeaseTTL: ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A takes the only rectangle and goes silent.
+	if la := co.lease("A"); la.Rect == nil || la.Rect.ID != 0 {
+		t.Fatalf("initial lease: %+v", la)
+	}
+	// B long-polls with a window far beyond the TTL (the coordinator clamps
+	// it): it must be handed A's expired rectangle from inside the park, not
+	// told to go away and poll.
+	start := time.Now()
+	lb := co.leaseWait("B", time.Hour)
+	if lb.Rect == nil || lb.Rect.ID != 0 {
+		t.Fatalf("parked request not granted the expired rectangle: %+v", lb)
+	}
+	if elapsed := time.Since(start); elapsed > 10*ttl {
+		t.Fatalf("reassignment took %v, expected ~TTL (%v)", elapsed, ttl)
+	}
+	// C parks while B computes; B's result finishes the job, which must wake
+	// C with Done well before C's window closes.
+	woken := make(chan LeaseResponse, 1)
+	go func() { woken <- co.leaseWait("C", time.Hour) }()
+	time.Sleep(20 * time.Millisecond) // let C park (racing is still correct, just weaker)
+	r := localRectResult(t, minCRN(), minFunc, co.Rects()[0], "B")
+	if resp, err := co.result(r); err != nil || !resp.OK {
+		t.Fatalf("result rejected: %+v %v", resp, err)
+	}
+	select {
+	case lc := <-woken:
+		if !lc.Done {
+			t.Fatalf("parked request answered %+v, want Done", lc)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job completion did not wake the parked lease request")
+	}
+	// A closed coordinator answers parked requests instead of holding them.
+	if err := co.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if lz := co.leaseWait("Z", time.Hour); !lz.Done {
+		t.Fatalf("post-shutdown long-poll: %+v, want Done", lz)
+	}
+}
+
 // TestMergeStopsAtFirstFailingRect: a failure in an early rectangle must
 // produce the single-process result even when later rectangles completed
 // with their own (discarded) counts, and must not require rects past the

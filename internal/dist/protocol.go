@@ -67,9 +67,17 @@ type Rect struct {
 	Hi []int64 `json:"hi"`
 }
 
-// LeaseRequest asks for a rectangle to check.
+// LeaseRequest asks for a rectangle to check. WaitMillis, when positive,
+// asks the coordinator to park the request for up to that long instead of
+// answering Wait immediately (long-poll): the coordinator responds as soon
+// as a rectangle frees up or the job finishes, and only answers Wait when
+// the window closes empty. The coordinator clamps the window to its lease
+// TTL. Zero keeps the immediate answer, so a worker that prefers plain
+// polling interoperates unchanged — the field is additive, not a protocol
+// break.
 type LeaseRequest struct {
-	Worker string `json:"worker"`
+	Worker     string `json:"worker"`
+	WaitMillis int64  `json:"wait_ms,omitempty"`
 }
 
 // LeaseResponse grants a rectangle under a lease, asks the worker to poll

@@ -33,9 +33,17 @@ type Worker struct {
 	// Resolve maps the job's function name to an evaluator. Required: the
 	// coordinator ships only the name, never code.
 	Resolve func(name string) (reach.Func, error)
-	// Poll is the lease-poll interval when no rectangle is available
-	// (default 50ms).
+	// Poll is the retry interval for failed coordinator requests, and the
+	// fallback sleep after a lease poll that came back empty without being
+	// parked (default 50ms).
 	Poll time.Duration
+	// LongPoll is the lease long-poll window: /lease requests ask the
+	// coordinator to park them up to this long when no rectangle is free
+	// (answered early as soon as one frees up or the job finishes), instead
+	// of the worker polling every Poll interval. Default 10s — comfortably
+	// inside the HTTP client's 30s timeout; the coordinator additionally
+	// clamps the window to its lease TTL. Negative disables long-polling.
+	LongPoll time.Duration
 	// JoinTimeout bounds the initial retry loop fetching the job, so a
 	// worker started slightly before its coordinator still joins
 	// (default 15s).
@@ -73,6 +81,13 @@ func (w *Worker) Run(ctx context.Context) error {
 	poll := w.Poll
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
+	}
+	longPoll := w.LongPoll
+	switch {
+	case longPoll == 0:
+		longPoll = 10 * time.Second
+	case longPoll < 0:
+		longPoll = 0
 	}
 	joinTimeout := w.JoinTimeout
 	if joinTimeout <= 0 {
@@ -124,8 +139,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		polledAt := time.Now()
 		var lr LeaseResponse
-		if err := postJSON(ctx, client, base+"/lease", LeaseRequest{Worker: name}, &lr); err != nil {
+		if err := postJSON(ctx, client, base+"/lease", LeaseRequest{Worker: name, WaitMillis: longPoll.Milliseconds()}, &lr); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -143,7 +159,14 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.logf("worker %s: job done", name)
 			return nil
 		case lr.Rect == nil:
-			sleepCtx(ctx, poll)
+			// An empty answer after a full long-poll window can be retried
+			// immediately — the coordinator just parked us for the window.
+			// One that came back early (long-poll off, or a coordinator that
+			// ignored/clamped the window) falls back to interval polling so
+			// the loop never runs hot.
+			if time.Since(polledAt) < longPoll/2 || longPoll == 0 {
+				sleepCtx(ctx, poll)
+			}
 			continue
 		}
 		rect := *lr.Rect

@@ -38,6 +38,20 @@ type witnessJSON struct {
 	Reactions []int   `json:"reactions"`
 }
 
+// MarshalGridResultIndent renders res in the canonical presentation form of
+// the wire encoding: two-space-indented JSON with a trailing newline. This is
+// the exact byte sequence crncheck -json writes and the serve layer's
+// /v1/check responds with — the cross-process byte-identity contracts (CLI vs
+// server vs distributed merge) are pinned on this one encoder, so every
+// consumer of "the JSON result" must go through it rather than re-marshal.
+func MarshalGridResultIndent(res GridResult) ([]byte, error) {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 // MarshalJSON encodes the verdict in the wire form shared by crncheck -json
 // and the distributed checker.
 func (v Verdict) MarshalJSON() ([]byte, error) {

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+)
+
+// requestKey derives the content address of a canonical request: the SHA-256
+// of its JSON encoding — the same discipline the distributed checkpoint uses
+// to pin a JobSpec (internal/dist/checkpoint.go). Canonical requests embed
+// every input the computation depends on (the parse→String-normalized CRN
+// text, function name, grid bounds, budgets, seeds) with all defaults filled
+// in, so textually different requests for the same computation collapse to
+// one key, and the engines' determinism turns a cache hit into a correctness
+// guarantee: the cached bytes are the bytes a fresh run would produce.
+func requestKey(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Canonical requests are plain data; marshal cannot fail.
+		panic("serve: canonical request not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// cached is one stored response: the exact bytes (and status) to replay.
+type cached struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// Cache sources, surfaced as the X-Cache response header.
+const (
+	cacheMiss  = "miss"  // this request ran the computation
+	cacheHit   = "hit"   // replayed from the store
+	cacheDedup = "dedup" // joined an identical in-flight computation
+)
+
+// resultCache is a bounded content-addressed response cache with in-flight
+// deduplication: concurrent do calls for the same key share one computation
+// (singleflight — N identical concurrent requests cost one engine run), and
+// completed values are kept under LRU eviction bounded by max entries.
+// Errors are never stored; every waiter of a failed flight receives the
+// error and the next request retries.
+type resultCache struct {
+	mu       sync.Mutex
+	max      int        // ≤ 0 disables storage (dedup still applies)
+	ll       *list.List // LRU order, front = most recent
+	items    map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, dedups, evictions uint64
+}
+
+type cacheItem struct {
+	key string
+	val cached
+}
+
+type flight struct {
+	done    chan struct{}
+	waiters int // requests parked on this flight (observability + tests)
+	val     cached
+	err     error
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:      max,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// get returns the stored value for key, marking it most recently used.
+func (rc *resultCache) get(key string) (cached, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.items[key]; ok {
+		rc.ll.MoveToFront(el)
+		rc.hits++
+		return el.Value.(*cacheItem).val, true
+	}
+	return cached{}, false
+}
+
+// do returns the value for key, computing it at most once across concurrent
+// callers: a stored value is replayed, an in-flight computation is joined,
+// and otherwise this caller computes (without holding the lock) and stores
+// the result. The source return is one of cacheHit, cacheDedup, cacheMiss.
+func (rc *resultCache) do(key string, compute func() (cached, error)) (cached, string, error) {
+	rc.mu.Lock()
+	if el, ok := rc.items[key]; ok {
+		rc.ll.MoveToFront(el)
+		rc.hits++
+		rc.mu.Unlock()
+		return el.Value.(*cacheItem).val, cacheHit, nil
+	}
+	if fl, ok := rc.inflight[key]; ok {
+		fl.waiters++
+		rc.dedups++
+		rc.mu.Unlock()
+		<-fl.done
+		return fl.val, cacheDedup, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	rc.inflight[key] = fl
+	rc.misses++
+	rc.mu.Unlock()
+
+	fl.val, fl.err = compute()
+
+	rc.mu.Lock()
+	delete(rc.inflight, key)
+	if fl.err == nil {
+		rc.storeLocked(key, fl.val)
+	}
+	rc.mu.Unlock()
+	close(fl.done)
+	return fl.val, cacheMiss, fl.err
+}
+
+// storeLocked inserts (or refreshes) key at the front of the LRU and evicts
+// past max. Caller holds rc.mu. No-op when storage is disabled.
+func (rc *resultCache) storeLocked(key string, val cached) {
+	if rc.max <= 0 {
+		return
+	}
+	if el, ok := rc.items[key]; ok {
+		el.Value.(*cacheItem).val = val
+		rc.ll.MoveToFront(el)
+		return
+	}
+	rc.items[key] = rc.ll.PushFront(&cacheItem{key: key, val: val})
+	for rc.ll.Len() > rc.max {
+		last := rc.ll.Back()
+		rc.ll.Remove(last)
+		delete(rc.items, last.Value.(*cacheItem).key)
+		rc.evictions++
+	}
+}
+
+// put stores a computed value directly (used by the async job runner so a
+// finished job's body serves later /v1/check requests as plain cache hits).
+func (rc *resultCache) put(key string, val cached) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.storeLocked(key, val)
+}
+
+// flush drops every stored entry (in-flight computations are unaffected).
+func (rc *resultCache) flush() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.ll.Init()
+	rc.items = make(map[string]*list.Element)
+}
+
+// cacheStats is the /v1/stats snapshot of the cache.
+type cacheStats struct {
+	Entries   int    `json:"entries"`
+	Max       int    `json:"max"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Dedups    uint64 `json:"dedups"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (rc *resultCache) stats() cacheStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return cacheStats{
+		Entries:   rc.ll.Len(),
+		Max:       rc.max,
+		Hits:      rc.hits,
+		Misses:    rc.misses,
+		Dedups:    rc.dedups,
+		Evictions: rc.evictions,
+	}
+}
+
+// waitersOn reports how many requests are parked on key's in-flight
+// computation (test observability for the singleflight contract).
+func (rc *resultCache) waitersOn(key string) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if fl, ok := rc.inflight[key]; ok {
+		return fl.waiters
+	}
+	return 0
+}

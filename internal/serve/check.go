@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"crncompose/internal/core"
+	"crncompose/internal/crn"
+	"crncompose/internal/parse"
+	"crncompose/internal/reach"
+	"crncompose/internal/vec"
+)
+
+// CheckRequest is the JSON body of POST /v1/check and POST /v1/jobs: verify
+// that CRN stably computes the named library function on the grid
+// [Lo,Hi]^d. Defaults mirror crncheck's flags (lo 0, hi 3, maxconfigs 2^20),
+// so a request and the CLI invocation it quotes verify under identical
+// budgets — the precondition for the byte-identity contract below.
+type CheckRequest struct {
+	CRN        string `json:"crn"`
+	Func       string `json:"func"`
+	Lo         int64  `json:"lo"`
+	Hi         *int64 `json:"hi,omitempty"`
+	MaxConfigs int    `json:"maxconfigs,omitempty"`
+}
+
+// canonicalCheck is the content-addressed form of a CheckRequest: the CRN
+// re-rendered through parse→String (so formatting differences collapse),
+// per-axis bounds, and every budget filled in — exactly the inputs the
+// verdict depends on, in the spirit of dist.JobSpec. Its requestKey is the
+// cache key and the async job id.
+type canonicalCheck struct {
+	V          int     `json:"v"`  // key-schema version
+	Op         string  `json:"op"` // "check"
+	CRN        string  `json:"crn"`
+	Func       string  `json:"func"`
+	Lo         []int64 `json:"lo"`
+	Hi         []int64 `json:"hi"`
+	MaxConfigs int     `json:"maxconfigs"`
+	MaxCount   int64   `json:"maxcount"`
+}
+
+// checkJob is a fully resolved check: the canonical request plus the live
+// CRN and evaluator it resolves to.
+type checkJob struct {
+	cc  canonicalCheck
+	key string
+	c   *crn.CRN
+	f   reach.Func
+}
+
+// maxGridPoints is the admission bound on a check's total grid size. Far
+// beyond anything the engine can enumerate, but small enough that the
+// overflow-checked product below stays meaningful and a single absurd
+// request cannot wedge the request path or the job queue.
+const maxGridPoints = int64(1) << 32
+
+// gridPoints returns the number of inputs in the job's grid (guaranteed
+// ≤ maxGridPoints by resolveCheck).
+func (j *checkJob) gridPoints() int64 {
+	n, _ := gridPointsOf(j.cc.Lo, j.cc.Hi)
+	return n
+}
+
+// gridPointsOf multiplies the axis extents with an overflow guard, reporting
+// false when the product exceeds maxGridPoints.
+func gridPointsOf(lo, hi []int64) (int64, bool) {
+	n := int64(1)
+	for i := range lo {
+		ext := hi[i] - lo[i] + 1
+		if ext > maxGridPoints/n {
+			return 0, false
+		}
+		n *= ext
+	}
+	return n, true
+}
+
+// resolveCheck canonicalizes a CheckRequest: parse the CRN, resolve the
+// function in the library, validate arities and bounds, fill defaults.
+// Errors are client errors (http.StatusBadRequest unless noted).
+func resolveCheck(req CheckRequest) (*checkJob, error) {
+	if req.CRN == "" || req.Func == "" {
+		return nil, fmt.Errorf("need both crn and func")
+	}
+	c, err := parse.Parse(req.CRN)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := core.Library()[req.Func]
+	if !ok {
+		return nil, fmt.Errorf("unknown function %q", req.Func)
+	}
+	if c.Dim() != f.Dim() {
+		return nil, fmt.Errorf("CRN takes %d inputs but %s takes %d", c.Dim(), f.Name, f.Dim())
+	}
+	hi := int64(3)
+	if req.Hi != nil {
+		hi = *req.Hi
+	}
+	if req.Lo < 0 || hi < req.Lo {
+		return nil, fmt.Errorf("bad grid bounds lo=%d hi=%d", req.Lo, hi)
+	}
+	maxConfigs := req.MaxConfigs
+	if maxConfigs == 0 {
+		maxConfigs = 1 << 20 // crncheck's -maxconfigs default
+	}
+	if maxConfigs < 1 {
+		return nil, fmt.Errorf("maxconfigs must be >= 1")
+	}
+	d := f.Dim()
+	los, his := make([]int64, d), make([]int64, d)
+	for i := range los {
+		los[i], his[i] = req.Lo, hi
+	}
+	if _, ok := gridPointsOf(los, his); !ok {
+		return nil, fmt.Errorf("grid [%d,%d]^%d exceeds %d points", req.Lo, hi, d, maxGridPoints)
+	}
+	cc := canonicalCheck{
+		V:          1,
+		Op:         "check",
+		CRN:        c.String(),
+		Func:       req.Func,
+		Lo:         los,
+		Hi:         his,
+		MaxConfigs: maxConfigs,
+		MaxCount:   1 << 40, // reach's default; part of the key because verdicts depend on it
+	}
+	return &checkJob{
+		cc:  cc,
+		key: requestKey(cc),
+		c:   c,
+		f:   func(x []int64) int64 { return f.Eval(vec.New(x...)) },
+	}, nil
+}
+
+// runCheckGrid runs the job's whole grid on the in-process engine and
+// encodes the result in the canonical crncheck -json form.
+func (s *Server) runCheckGrid(j *checkJob) (cached, error) {
+	s.computed("check")
+	res, err := reach.CheckGrid(j.c, j.f, j.cc.Lo, j.cc.Hi,
+		reach.WithMaxConfigs(j.cc.MaxConfigs),
+		reach.WithMaxCount(j.cc.MaxCount),
+		reach.WithWorkers(s.cfg.Workers))
+	if err != nil {
+		// A deterministic enumeration error (the CLI exits without JSON):
+		// reported, never cached.
+		return cached{}, err
+	}
+	body, err := reach.MarshalGridResultIndent(res)
+	if err != nil {
+		return cached{}, err
+	}
+	return cached{status: http.StatusOK, contentType: contentTypeJSON, body: body}, nil
+}
+
+// handleCheck serves POST /v1/check.
+//
+// The response body for a completed check is byte-identical to what
+// `crncheck -json` prints for the same CRN, function, bounds, and budgets:
+// both sides run the same deterministic engine and both encode through
+// reach.MarshalGridResultIndent. That identity is what makes the cache safe
+// — a replayed body is indistinguishable from a fresh run.
+//
+// Small grids (at most Config.SyncGridLimit points) are checked
+// synchronously on the server's worker budget, deduplicated and cached by
+// content address. Larger grids are accepted as asynchronous jobs: the
+// response is 202 with the job's status document; poll GET /v1/jobs/{id}
+// and fetch the identical body from GET /v1/jobs/{id}/result. A large
+// request whose result is already cached is served synchronously from the
+// cache.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	j, err := resolveCheck(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if val, ok := s.cache.get(j.key); ok {
+		writeCached(w, val, cacheHit)
+		return
+	}
+	if j.gridPoints() > s.cfg.SyncGridLimit {
+		jb := s.jobs.getOrCreate(j, s)
+		w.Header().Set("Location", "/v1/jobs/"+jb.id)
+		writeJSON(w, http.StatusAccepted, s.jobs.status(jb))
+		return
+	}
+	val, source, err := s.cache.do(j.key, func() (cached, error) { return s.runCheckGrid(j) })
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeCached(w, val, source)
+}

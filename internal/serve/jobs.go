@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"crncompose/internal/dist"
+	"crncompose/internal/reach"
+)
+
+// Async grid jobs. A job is a whole /v1/check computation too large for a
+// synchronous response: it is content-addressed by the same canonical
+// request key as the cache (so the job id doubles as the cache key, and
+// re-submitting an identical job attaches to the running one instead of
+// recomputing), executed off the request path, and its finished body —
+// byte-identical to the synchronous /v1/check response — is inserted into
+// the response cache so later checks of the same request are plain hits.
+//
+// Jobs run one at a time: a single grid check already saturates the
+// server's worker budget (local mode) or the coordinator address (dist
+// mode), so running jobs concurrently would only add contention. Progress
+// is reported in completed rectangles — the same unit the distributed
+// checker leases — with the grid split exactly as a coordinator would
+// split it.
+
+// Job states.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// JobStatus is the status document of GET /v1/jobs/{id} (and the 202 body
+// of submissions). Progress is counted in completed grid rectangles.
+type JobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Rects     int    `json:"rects"`
+	RectsDone int    `json:"rects_done"`
+	Error     string `json:"error,omitempty"`
+}
+
+// asyncJob is one grid job. Mutable fields are guarded by the owning
+// jobTable's mutex; done closes when the job reaches a terminal state.
+type asyncJob struct {
+	id    string
+	check *checkJob
+
+	state     string
+	rects     int
+	rectsDone int
+	body      []byte // finished /v1/check body (state == jobDone)
+	errMsg    string // state == jobFailed
+
+	done chan struct{}
+}
+
+// jobTable owns every submitted job and the serial execution queue.
+type jobTable struct {
+	mu    sync.Mutex
+	jobs  map[string]*asyncJob
+	queue chan *asyncJob
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{
+		jobs:  make(map[string]*asyncJob),
+		queue: make(chan *asyncJob, 256),
+	}
+}
+
+// getOrCreate returns the job for j's content address, creating and
+// enqueueing it if new. A request whose result is already cached gets a
+// pre-completed job, so submitting a job for a finished computation is
+// instantaneous at any later time. A previously failed job is replaced by a
+// fresh submission — failures (a full queue, a coordinator that could not
+// bind, an enumeration error) must not poison the content address for the
+// server's lifetime.
+func (jt *jobTable) getOrCreate(j *checkJob, s *Server) *asyncJob {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if jb, ok := jt.jobs[j.key]; ok && jb.state != jobFailed {
+		return jb
+	}
+	jb := &asyncJob{id: j.key, check: j, state: jobQueued, done: make(chan struct{})}
+	if val, ok := s.cache.get(j.key); ok {
+		jb.state = jobDone
+		jb.body = val.body
+		close(jb.done)
+		jt.jobs[j.key] = jb
+		return jb
+	}
+	select {
+	case jt.queue <- jb:
+	default:
+		jb.state = jobFailed
+		jb.errMsg = "job queue full"
+		close(jb.done)
+	}
+	jt.jobs[j.key] = jb
+	return jb
+}
+
+func (jt *jobTable) get(id string) *asyncJob {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	return jt.jobs[id]
+}
+
+// statusDoc snapshots the job for clients.
+func (jb *asyncJob) statusDoc() JobStatus {
+	// jb.id and check are immutable; the rest is read under the table lock
+	// by the accessors below.
+	return JobStatus{
+		ID:        jb.id,
+		State:     jb.state,
+		Rects:     jb.rects,
+		RectsDone: jb.rectsDone,
+		Error:     jb.errMsg,
+	}
+}
+
+// status returns a consistent snapshot under the table lock.
+func (jt *jobTable) status(jb *asyncJob) JobStatus {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	return jb.statusDoc()
+}
+
+// runJobs is the server's job runner goroutine: jobs execute strictly one
+// at a time in submission order until the server shuts down.
+func (s *Server) runJobs() {
+	for {
+		select {
+		case jb := <-s.jobs.queue:
+			s.runJob(jb)
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// runJob executes one job to a terminal state and publishes its body to the
+// response cache.
+func (s *Server) runJob(jb *asyncJob) {
+	s.computed("job")
+	var body []byte
+	var err error
+	if s.cfg.DistCoordinator != "" {
+		body, err = s.runJobDist(jb)
+	} else {
+		body, err = s.runJobLocal(jb)
+	}
+	s.jobs.mu.Lock()
+	if err != nil {
+		jb.state = jobFailed
+		jb.errMsg = err.Error()
+	} else {
+		jb.state = jobDone
+		jb.body = body
+		s.cache.put(jb.id, cached{status: http.StatusOK, contentType: contentTypeJSON, body: body})
+	}
+	s.jobs.mu.Unlock()
+	close(jb.done)
+	s.logf("job %.12s…: %s", jb.id, jb.state)
+}
+
+// runJobLocal checks the grid rectangle by rectangle on the in-process
+// engine, splitting exactly as a distributed coordinator would
+// (dist.SplitGrid) and merging with the same deterministic rule — counts
+// sum in grid order, the first rectangle with a failure contributes its
+// partial counts and stops the run — so the finished body is byte-identical
+// to the synchronous CheckGrid body (the dist subsystem's pinned
+// invariant), while progress advances a rectangle at a time.
+func (s *Server) runJobLocal(jb *asyncJob) ([]byte, error) {
+	cc := jb.check.cc
+	shards := s.cfg.Shards
+	if shards < 1 {
+		shards = dist.DefaultShards
+	}
+	if n := jb.check.gridPoints(); int64(shards) > n {
+		shards = int(n)
+	}
+	rects := dist.SplitGrid(cc.Lo, cc.Hi, shards)
+	s.jobs.mu.Lock()
+	jb.state = jobRunning
+	jb.rects = len(rects)
+	s.jobs.mu.Unlock()
+
+	var out reach.GridResult
+	for _, r := range rects {
+		res, err := reach.CheckRect(jb.check.c, jb.check.f, r.Lo, r.Hi,
+			reach.WithMaxConfigs(cc.MaxConfigs),
+			reach.WithMaxCount(cc.MaxCount),
+			reach.WithWorkers(s.cfg.Workers))
+		out.Checked += res.Checked
+		out.Inconclusive += res.Inconclusive
+		out.Explored += res.Explored
+		s.jobs.mu.Lock()
+		jb.rectsDone++
+		s.jobs.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if res.Failure != nil {
+			out.Failure = res.Failure
+			break
+		}
+	}
+	return reach.MarshalGridResultIndent(out)
+}
+
+// runJobDist hands the job to a dist coordinator listening on the
+// configured address; external workers (`crncheck -join addr`) do the
+// computation. The merged result is byte-identical to a local run by the
+// dist subsystem's determinism contract, so the finished body is the same
+// bytes either way.
+func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
+	cc := jb.check.cc
+	co, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		CRN:        jb.check.c,
+		Func:       cc.Func,
+		Lo:         cc.Lo,
+		Hi:         cc.Hi,
+		MaxConfigs: cc.MaxConfigs,
+		MaxCount:   cc.MaxCount,
+		Shards:     s.cfg.Shards,
+		LeaseTTL:   s.cfg.LeaseTTL,
+		Logf:       s.cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := co.Start(s.cfg.DistCoordinator); err != nil {
+		return nil, fmt.Errorf("starting coordinator on %s: %w", s.cfg.DistCoordinator, err)
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = co.Shutdown(sctx)
+	}()
+	_, total := co.Progress()
+	s.jobs.mu.Lock()
+	jb.state = jobRunning
+	jb.rects = total
+	s.jobs.mu.Unlock()
+
+	waitDone := make(chan struct{})
+	var res reach.GridResult
+	var werr error
+	go func() {
+		res, werr = co.Wait(s.baseCtx)
+		close(waitDone)
+	}()
+	t := time.NewTicker(200 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-waitDone:
+			if werr != nil {
+				return nil, werr
+			}
+			s.jobs.mu.Lock()
+			jb.rectsDone = total
+			s.jobs.mu.Unlock()
+			// Linger one poll cycle so workers observe Done (as dist.Run does).
+			time.Sleep(200 * time.Millisecond)
+			return reach.MarshalGridResultIndent(res)
+		case <-t.C:
+			done, _ := co.Progress()
+			s.jobs.mu.Lock()
+			jb.rectsDone = done
+			s.jobs.mu.Unlock()
+		}
+	}
+}
+
+// handleJobSubmit serves POST /v1/jobs: the body is a CheckRequest; the
+// response is 202 with the job's status document (Location points at the
+// status URL). Identical submissions — concurrent or later — share one job.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	j, err := resolveCheck(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jb := s.jobs.getOrCreate(j, s)
+	w.Header().Set("Location", "/v1/jobs/"+jb.id)
+	writeJSON(w, http.StatusAccepted, s.jobs.status(jb))
+}
+
+// handleJobStatus serves GET /v1/jobs/{id}.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	jb := s.jobs.get(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.status(jb))
+}
+
+// handleJobResult serves GET /v1/jobs/{id}/result: the finished body, byte
+// -identical to the synchronous /v1/check response (and to crncheck -json).
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	jb := s.jobs.get(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	st := s.jobs.status(jb)
+	switch st.State {
+	case jobDone:
+		s.jobs.mu.Lock()
+		body := jb.body
+		s.jobs.mu.Unlock()
+		writeCached(w, cached{status: http.StatusOK, contentType: contentTypeJSON, body: body}, cacheHit)
+	case jobFailed:
+		writeError(w, http.StatusUnprocessableEntity, errors.New(st.Error))
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s; poll /v1/jobs/%s", st.State, st.ID))
+	}
+}

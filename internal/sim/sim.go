@@ -75,10 +75,11 @@ func buildOptions(opts []Option) Options {
 // merged-reactant semantics, so applicability and propensity always agree)
 // and the reaction→reaction dependency lists (crn.DependentsAt) that make
 // per-step propensity and applicable-set maintenance O(dependents of the
-// fired reaction) instead of O(reactions). Only the per-reaction output
-// deltas are computed here, once per compile, so the silence criterion's
-// "every applicable reaction is output-neutral" check costs
-// O(output-changing reactions) per evaluation.
+// fired reaction) instead of O(reactions). The per-reaction output deltas
+// (backing the silence criterion's "every applicable reaction is
+// output-neutral" check) are computed in newCompiledSim — and the whole
+// compiledSim is itself memoized on the CRN (see compileSim), so a run pays
+// the O(reactions) assembly at most once per CRN, not once per call.
 type compiledSim struct {
 	reactants   [][]crn.IdxCoeff
 	deps        [][]int32
@@ -87,7 +88,16 @@ type compiledSim struct {
 	outChanging []int32 // reactions with outDelta != 0
 }
 
+// compileSim returns the per-CRN compiled view, memoized on the CRN itself
+// behind its sync.Once-guarded sim slot: the first simulation run on a CRN
+// builds the view, every later Gillespie/FairRandom call (ensembles of short
+// replicates included) reuses it at zero cost. The view is immutable after
+// build, so sharing it across concurrent ensemble trials is safe.
 func compileSim(c *crn.CRN) *compiledSim {
+	return c.SimSlot(func() any { return newCompiledSim(c) }).(*compiledSim)
+}
+
+func newCompiledSim(c *crn.CRN) *compiledSim {
 	nR := c.NumReactions()
 	cs := &compiledSim{
 		reactants: make([][]crn.IdxCoeff, nR),

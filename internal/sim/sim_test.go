@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"crncompose/internal/benchcrn"
@@ -404,5 +405,33 @@ func TestGillespieMergedDuplicateReactantTerms(t *testing.T) {
 	r := Gillespie(c.MustInitialConfig(vec.New(5)), WithSeed(1))
 	if !r.Converged || r.Final.Output() != 2 {
 		t.Fatalf("2X→Y from 5 X: %+v", r)
+	}
+}
+
+// TestCompileSimMemoizedPerCRN: the compiled per-run view is built once per
+// CRN and shared by every later call (the ROADMAP "cache compiledSim per
+// CRN" item), including under concurrent first compile — so ensembles of
+// short replicates stop paying O(reactions) assembly per trial. Trajectory
+// identity under the shared view is covered by the same-seed reproducibility
+// tests above.
+func TestCompileSimMemoizedPerCRN(t *testing.T) {
+	c := maxCRN()
+	var wg sync.WaitGroup
+	got := make([]*compiledSim, 8)
+	for i := range got {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = compileSim(c)
+		}()
+	}
+	wg.Wait()
+	for i, cs := range got {
+		if cs == nil || cs != got[0] {
+			t.Fatalf("compileSim call %d returned %p, want the memoized %p", i, cs, got[0])
+		}
+	}
+	if c2 := minCRN(); compileSim(c2) == compileSim(c) {
+		t.Fatal("distinct CRNs share a compiled view")
 	}
 }
