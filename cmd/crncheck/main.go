@@ -23,6 +23,11 @@
 // -json emits the machine-readable GridResult — the same encoding the
 // distributed protocol uses — instead of the human-readable report.
 //
+// SIGINT/SIGTERM (and -timeout) cancel the run cleanly: the engine stops
+// at its next deterministic cancellation point and the command reports the
+// cancellation instead of a partial verdict. -progress prints throttled
+// checked-inputs counts to stderr without affecting the result.
+//
 // Usage:
 //
 //	crncheck -crn min.crn -f min -lo 0 -hi 5
@@ -37,10 +42,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"crncompose/internal/core"
 	"crncompose/internal/dist"
 	"crncompose/internal/parse"
+	"crncompose/internal/progress"
 	"crncompose/internal/reach"
 	"crncompose/internal/vec"
 )
@@ -62,6 +71,8 @@ func run(args []string, out io.Writer) error {
 		maxConfigs = fs.Int("maxconfigs", 1<<20, "reachability budget per input")
 		workers    = fs.Int("workers", 0, "size of the shared work-stealing pool: workers check grid inputs concurrently and migrate into still-running explorations as inputs finish (0 = all CPUs, 1 = sequential)")
 		jsonOut    = fs.Bool("json", false, "emit the machine-readable GridResult (the distributed protocol's encoding) instead of the human report")
+		timeout    = fs.Duration("timeout", 0, "abort the check after this long (0 = none); a timed-out or interrupted run reports the cancellation, never a partial verdict")
+		progFlag   = fs.Bool("progress", false, "print throttled progress lines (checked inputs) to stderr")
 
 		coordAddr  = fs.String("coordinator", "", "run as distributed coordinator listening on this host:port; workers join with -join")
 		joinAddr   = fs.String("join", "", "run as distributed worker against the coordinator at this host:port")
@@ -72,8 +83,18 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM cancel the run: engines unwind at their next
+	// deterministic cancellation point (level barrier / grid chunk) and
+	// return a wrapped context error instead of a partial verdict.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *joinAddr != "" {
-		return runWorker(*joinAddr, *workers)
+		return runWorker(ctx, *joinAddr, *workers)
 	}
 	if *crnPath == "" || *fname == "" {
 		return fmt.Errorf("need both -crn and -f (or -join addr)")
@@ -128,10 +149,14 @@ func run(args []string, out io.Writer) error {
 		if cerr != nil {
 			return cerr
 		}
-		res, err = co.Run(context.Background(), *coordAddr)
+		res, err = co.Run(ctx, *coordAddr)
 	} else {
-		res, err = reach.CheckGrid(c, func(x []int64) int64 { return f.Eval(vec.New(x...)) },
-			los, his, reach.WithMaxConfigs(*maxConfigs), reach.WithWorkers(*workers))
+		checkOpts := []reach.Option{reach.WithMaxConfigs(*maxConfigs), reach.WithWorkers(*workers)}
+		if *progFlag {
+			checkOpts = append(checkOpts, reach.WithProgress(stderrProgress()))
+		}
+		res, err = reach.CheckGridCtx(ctx, c, func(x []int64) int64 { return f.Eval(vec.New(x...)) },
+			los, his, checkOpts...)
 	}
 	if err != nil {
 		return err
@@ -152,10 +177,24 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runWorker joins a coordinator and serves until the job is done. The
+// stderrProgress returns a reporter printing throttled "checked m/n"
+// lines. Grid progress is posted from the aggregating goroutine only, so
+// the unsynchronized lastPrint is safe.
+func stderrProgress() progress.Reporter {
+	var lastPrint time.Time
+	return progress.Func(func(e progress.Event) {
+		if now := time.Now(); now.Sub(lastPrint) >= 500*time.Millisecond {
+			lastPrint = now
+			fmt.Fprintf(os.Stderr, "crncheck: %s %d/%d\n", e.Stage, e.Done, e.Total)
+		}
+	})
+}
+
+// runWorker joins a coordinator and serves until the job is done or ctx is
+// canceled (a canceled worker abandons its lease without reporting). The
 // function library is resolved locally (core.Library), so worker and
 // coordinator binaries must agree on it.
-func runWorker(addr string, workers int) error {
+func runWorker(ctx context.Context, addr string, workers int) error {
 	w := &dist.Worker{
 		Coordinator: addr,
 		Workers:     workers,
@@ -170,8 +209,6 @@ func runWorker(addr string, workers int) error {
 			fmt.Fprintf(os.Stderr, "crncheck: "+format+"\n", args...)
 		},
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	return w.Run(ctx)
 }
 

@@ -23,6 +23,16 @@
 //	                    lease) granularity (0 = 16)
 //	-lease d            dist-mode lease TTL before a silent worker's
 //	                    rectangle is reassigned (default 30s)
+//	-max-jobs n         admission budget: async jobs executing concurrently,
+//	                    each under its own cancellable context (default 2)
+//	-job-ttl d          how long terminal jobs stay in the job table before
+//	                    the janitor removes them; done results remain
+//	                    reachable via the response cache (default 15m,
+//	                    negative disables expiry)
+//	-drain-timeout d    graceful-shutdown budget: on SIGINT/SIGTERM the
+//	                    server stops admitting (readyz flips to 503), lets
+//	                    in-flight jobs finish within this budget, cancels
+//	                    the rest, and exits 0 (default 30s)
 //
 // Quickstart:
 //
@@ -67,6 +77,9 @@ func run(args []string, out io.Writer, ctx context.Context) error {
 		distCoord = fs.String("dist-coordinator", "", "run async jobs through a dist coordinator on this host:port (workers join with `crncheck -join`)")
 		shards    = fs.Int("shards", 0, "rectangles per async job: progress and lease granularity (0 = 16)")
 		lease     = fs.Duration("lease", dist.DefaultLeaseTTL, "dist-mode lease TTL before a silent worker's rectangle is reassigned")
+		maxJobs   = fs.Int("max-jobs", serve.DefaultMaxJobs, "async jobs executing concurrently (admission budget)")
+		jobTTL    = fs.Duration("job-ttl", serve.DefaultJobTTL, "terminal-job lifetime in the job table (negative disables expiry; done results stay cached)")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight jobs get this long to finish on SIGINT/SIGTERM before being canceled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +91,8 @@ func run(args []string, out io.Writer, ctx context.Context) error {
 		DistCoordinator: *distCoord,
 		Shards:          *shards,
 		LeaseTTL:        *lease,
+		MaxJobs:         *maxJobs,
+		JobTTL:          *jobTTL,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "crnserve: "+format+"\n", args...)
 		},
@@ -92,7 +107,9 @@ func run(args []string, out io.Writer, ctx context.Context) error {
 		defer stop()
 	}
 	<-ctx.Done()
-	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Graceful drain: stop admitting, let in-flight jobs finish within the
+	// budget, cancel the rest, exit 0.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
-	return s.Shutdown(sctx)
+	return s.Drain(dctx)
 }

@@ -8,16 +8,21 @@
 //	       [-seed 1] [-maxsteps 50000000] [-v]
 //
 // With -crn - the CRN is read from stdin. The tool prints per-trial final
-// outputs and an ensemble summary.
+// outputs and an ensemble summary. SIGINT/SIGTERM cancel the ensemble: each
+// trial stops at its next step-window boundary and the command reports the
+// interruption instead of partial trials.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"crncompose/internal/parse"
 	"crncompose/internal/sim"
@@ -69,12 +74,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var runner sim.Runner
+	var runner sim.RunnerCtx
 	switch *method {
 	case "gillespie":
-		runner = sim.Gillespie
+		runner = sim.GillespieCtx
 	case "fair":
-		runner = sim.FairRandom
+		runner = sim.FairRandomCtx
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
@@ -82,7 +87,14 @@ func run(args []string, out io.Writer) error {
 	if *silent > 0 {
 		opts = append(opts, sim.WithSilentSteps(*silent))
 	}
-	results := sim.Ensemble(runner, start, *trials, *seed, opts...)
+	// SIGINT/SIGTERM cancel the ensemble (results are trial-for-trial
+	// identical to the plain Ensemble when uninterrupted).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, err := sim.EnsembleCtx(ctx, runner, start, *trials, *seed, opts...)
+	if err != nil {
+		return err
+	}
 	for i, r := range results {
 		if *verbose {
 			fmt.Fprintf(out, "trial %d: output=%d steps=%d converged=%v final=%s\n",

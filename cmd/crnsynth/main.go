@@ -14,15 +14,22 @@
 // threshold (smaller n ⇒ smaller CRN, when valid). -verify model-checks the
 // synthesized CRN before emitting it on a shared work-stealing pool of
 // -workers goroutines spanning grid inputs and per-input exploration.
+//
+// SIGINT/SIGTERM cancel the pipeline cleanly: classification, synthesis,
+// and verification all stop at their next deterministic cancellation point
+// and the command reports the interruption instead of emitting anything.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"crncompose/internal/core"
 	"crncompose/internal/reach"
@@ -65,7 +72,9 @@ func run(args []string, out io.Writer) error {
 	if *leaderless {
 		return synthLeaderless(f, out, *stats)
 	}
-	sys, err := core.Compile(f, core.CompileOptions{Bound: *bound, N: *n})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sys, err := core.Compile(f, core.CompileOptions{Bound: *bound, N: *n, Ctx: ctx})
 	if err != nil {
 		var nce *synth.NotComputableError
 		if errors.As(err, &nce) && nce.Result.Contradiction != nil {
@@ -74,7 +83,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *verify >= 0 {
-		res, verr := sys.Verify(0, *verify, reach.WithWorkers(*workers), reach.WithMaxConfigs(*maxConfigs))
+		res, verr := sys.VerifyCtx(ctx, 0, *verify, reach.WithWorkers(*workers), reach.WithMaxConfigs(*maxConfigs))
 		if verr != nil {
 			return verr
 		}

@@ -22,10 +22,12 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"crncompose/internal/geometry"
+	"crncompose/internal/progress"
 	"crncompose/internal/quilt"
 	"crncompose/internal/rat"
 	"crncompose/internal/semilinear"
@@ -44,6 +46,33 @@ type Options struct {
 	// MaxPeriodScale bounds the period enlargement factor k in p* = k·p for
 	// Lemma 7.16 extensions (default 8).
 	MaxPeriodScale int64
+	// Ctx, when non-nil, makes the analysis cancellable. It is polled at
+	// the classifier's deterministic step boundaries (census, per-region
+	// extension, final grid verification); a canceled analysis returns a
+	// wrapped ctx.Err() and no Result. Unlike the engine packages the
+	// context rides in Options: classification is plumbed through synthesis
+	// recursion as an Options value, so a field keeps every signature
+	// additive.
+	Ctx context.Context
+	// Progress, when non-nil, receives a "classify.regions" event as each
+	// eventual region's extension is built (Done = regions processed,
+	// Total = regions in the census). Reported from the calling goroutine
+	// only; never changes the verdict.
+	Progress progress.Reporter
+}
+
+// ctxErr polls the analysis context; nil means "keep going". The returned
+// error wraps ctx.Err(), so errors.Is(err, context.Canceled) holds.
+func (o *Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return fmt.Errorf("classify: analysis canceled: %w", o.Ctx.Err())
+	default:
+		return nil
+	}
 }
 
 func (o *Options) defaults(p int64) {
@@ -91,6 +120,9 @@ func Analyze(f *semilinear.Func, opts Options) (*Result, error) {
 	if err := f.ValidateOn(lo, hi); err != nil {
 		return nil, err
 	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Condition (i): nondecreasing (Observation 2.1).
 	if ok, a, b := f.IsNondecreasingOn(lo, hi); !ok {
@@ -119,9 +151,18 @@ func Analyze(f *semilinear.Func, opts Options) (*Result, error) {
 	// (Lemma 7.7) and their domination (Lemma 7.9).
 	var terms []*quilt.Func
 	var determined []detExt
+	nRegions := int64(len(regions))
+	var regionsDone int64
 	for _, r := range regions {
+		regionsDone++
 		if !r.IsEventual() || !r.IsDetermined() {
 			continue
+		}
+		// Region boundaries are the classifier's cancellation points: each
+		// extension build plus domination scan is one bounded unit of work.
+		progress.Post(opts.Progress, "classify.regions", regionsDone, nRegions)
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
 		}
 		g, err := determinedExtension(f, r, p)
 		if err != nil {
@@ -144,6 +185,9 @@ func Analyze(f *semilinear.Func, opts Options) (*Result, error) {
 	for _, u := range regions {
 		if !u.IsEventual() || u.IsDetermined() {
 			continue
+		}
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
 		}
 		// Determined neighbors (Definition 7.11, Corollary 7.19).
 		var nbrs []detExt
@@ -169,6 +213,9 @@ func Analyze(f *semilinear.Func, opts Options) (*Result, error) {
 	terms = dedupe(terms)
 
 	// Step 3: verify f(x) = min_k g_k(x) on the eventual grid.
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	m, err := quilt.NewMin(terms...)
 	if err != nil {
 		return nil, err

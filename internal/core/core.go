@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,6 +39,10 @@ type CompileOptions struct {
 	// N overrides the eventual threshold used by the construction
 	// (0 = classifier's; smaller values give much smaller CRNs when valid).
 	N int64
+	// Ctx, when non-nil, cancels classification and synthesis: a canceled
+	// Compile returns a wrapped ctx.Err() within one classifier step or
+	// one restriction module of work.
+	Ctx context.Context
 }
 
 // Compile runs classification and synthesis. When f is not
@@ -45,7 +50,7 @@ type CompileOptions struct {
 // carrying the Lemma 4.1 contradiction.
 func Compile(f *semilinear.Func, opts CompileOptions) (*System, error) {
 	net, res, err := synth.General(f, synth.GeneralOptions{
-		Classify: classify.Options{Bound: opts.Bound, WitnessSearch: true},
+		Classify: classify.Options{Bound: opts.Bound, WitnessSearch: true, Ctx: opts.Ctx},
 		N:        opts.N,
 	})
 	if err != nil {
@@ -57,13 +62,20 @@ func Compile(f *semilinear.Func, opts CompileOptions) (*System, error) {
 // Verify model-checks that the compiled CRN stably computes f on the grid
 // [lo, hi]^d (the literal Section 2.2 definition, checked exhaustively).
 func (s *System) Verify(lo, hi int64, opts ...reach.Option) (reach.GridResult, error) {
+	return s.VerifyCtx(context.Background(), lo, hi, opts...)
+}
+
+// VerifyCtx is Verify under a cancellation context (see reach.CheckGridCtx
+// for the semantics: a canceled run returns a wrapped ctx.Err() and no
+// partial counts; a completed run is identical to Verify's).
+func (s *System) VerifyCtx(ctx context.Context, lo, hi int64, opts ...reach.Option) (reach.GridResult, error) {
 	d := s.F.Dim()
 	los := make([]int64, d)
 	his := make([]int64, d)
 	for i := range los {
 		los[i], his[i] = lo, hi
 	}
-	return reach.CheckGrid(s.Net, func(x []int64) int64 { return s.F.Eval(vec.New(x...)) },
+	return reach.CheckGridCtx(ctx, s.Net, func(x []int64) int64 { return s.F.Eval(vec.New(x...)) },
 		los, his, opts...)
 }
 

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"crncompose/internal/classify"
+	"crncompose/internal/semilinear"
+	"crncompose/internal/synth"
+)
+
+// TestCompileCtxPreCanceled: a canceled context aborts the pipeline at the
+// classifier's first cancellation point with a wrapped context error and no
+// system.
+func TestCompileCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys, err := Compile(semilinear.Min2(), CompileOptions{Ctx: ctx})
+	if sys != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Compile = %v, %v; want nil system and wrapped context.Canceled", sys, err)
+	}
+	// The same context cancels classification directly.
+	if _, err := classify.Analyze(semilinear.Min2(), classify.Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Analyze err = %v, want wrapped context.Canceled", err)
+	}
+	// And synthesis, before it builds any module.
+	if _, _, err := synth.General(semilinear.Min2(), synth.GeneralOptions{
+		Classify: classify.Options{Ctx: ctx},
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("General err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestVerifyCtx: a canceled VerifyCtx surfaces the wrapped context error; an
+// uncanceled one matches Verify exactly.
+func TestVerifyCtx(t *testing.T) {
+	sys, err := Compile(semilinear.Identity(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.VerifyCtx(ctx, 0, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled VerifyCtx err = %v, want wrapped context.Canceled", err)
+	}
+	// Uncanceled VerifyCtx completes normally (byte-identity of the ctx and
+	// plain grid engines is pinned in internal/reach's identity tests).
+	got, err := sys.VerifyCtx(context.Background(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK() || got.Checked != 4 {
+		t.Fatalf("VerifyCtx = %+v, want all 4 inputs checked OK", got)
+	}
+}

@@ -212,8 +212,10 @@ func (co *Coordinator) lease(worker string) LeaseResponse {
 // exactly until the earliest outstanding deadline rather than spinning. A
 // Wait answer therefore means "the window closed empty; poll again", and
 // replaces the old worker-side 50ms polling loop with one parked request per
-// TTL-bounded window.
-func (co *Coordinator) leaseWait(worker string, wait time.Duration) LeaseResponse {
+// TTL-bounded window. The park also wakes when ctx — the HTTP request's
+// context — is canceled, so a worker that hangs up (or is SIGTERMed) frees
+// its handler goroutine immediately instead of holding it for the window.
+func (co *Coordinator) leaseWait(ctx context.Context, worker string, wait time.Duration) LeaseResponse {
 	if wait > co.ttl {
 		wait = co.ttl
 	}
@@ -239,6 +241,7 @@ func (co *Coordinator) leaseWait(worker string, wait time.Duration) LeaseRespons
 		select {
 		case <-co.doneCh:
 		case <-co.closingCh:
+		case <-ctx.Done():
 		case <-t.C:
 		}
 		t.Stop()
@@ -249,6 +252,8 @@ func (co *Coordinator) leaseWait(worker string, wait time.Duration) LeaseRespons
 		select {
 		case <-co.closingCh:
 			return resp // shutting down; don't re-park
+		case <-ctx.Done():
+			return resp // caller gone; the answer is discarded anyway
 		default:
 		}
 	}
@@ -408,7 +413,7 @@ func (co *Coordinator) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, co.leaseWait(req.Worker, time.Duration(req.WaitMillis)*time.Millisecond))
+		writeJSON(w, co.leaseWait(r.Context(), req.Worker, time.Duration(req.WaitMillis)*time.Millisecond))
 	})
 	mux.HandleFunc("POST /renew", func(w http.ResponseWriter, r *http.Request) {
 		var req RenewRequest

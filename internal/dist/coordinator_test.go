@@ -127,7 +127,7 @@ func TestLeaseLongPoll(t *testing.T) {
 	// it): it must be handed A's expired rectangle from inside the park, not
 	// told to go away and poll.
 	start := time.Now()
-	lb := co.leaseWait("B", time.Hour)
+	lb := co.leaseWait(context.Background(), "B", time.Hour)
 	if lb.Rect == nil || lb.Rect.ID != 0 {
 		t.Fatalf("parked request not granted the expired rectangle: %+v", lb)
 	}
@@ -137,7 +137,7 @@ func TestLeaseLongPoll(t *testing.T) {
 	// C parks while B computes; B's result finishes the job, which must wake
 	// C with Done well before C's window closes.
 	woken := make(chan LeaseResponse, 1)
-	go func() { woken <- co.leaseWait("C", time.Hour) }()
+	go func() { woken <- co.leaseWait(context.Background(), "C", time.Hour) }()
 	time.Sleep(20 * time.Millisecond) // let C park (racing is still correct, just weaker)
 	r := localRectResult(t, minCRN(), minFunc, co.Rects()[0], "B")
 	if resp, err := co.result(r); err != nil || !resp.OK {
@@ -155,7 +155,7 @@ func TestLeaseLongPoll(t *testing.T) {
 	if err := co.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if lz := co.leaseWait("Z", time.Hour); !lz.Done {
+	if lz := co.leaseWait(context.Background(), "Z", time.Hour); !lz.Done {
 		t.Fatalf("post-shutdown long-poll: %+v, want Done", lz)
 	}
 }

@@ -210,9 +210,16 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 		}()
 	}
 	w.logf("worker %s: checking rect %d %v..%v", name, rect.ID, rect.Lo, rect.Hi)
-	res, rerr := reach.CheckRect(c, f, rect.Lo, rect.Hi, opts...)
+	res, rerr := reach.CheckRectCtx(ctx, c, f, rect.Lo, rect.Hi, opts...)
 	close(stop)
 	hb.Wait()
+
+	// A canceled worker abandons the rectangle without reporting: the engine
+	// returned no verdicts, the heartbeat above has stopped, and the lease
+	// simply expires so the coordinator reassigns the rectangle elsewhere.
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
 
 	req := ResultRequest{Worker: name, RectID: rect.ID}
 	raw, err := json.Marshal(res)

@@ -1,0 +1,23 @@
+package progress
+
+import "testing"
+
+func TestPostNilReporterIsNoop(t *testing.T) {
+	Post(nil, "x", 1, 2) // must not panic
+}
+
+func TestFuncAdapterDelivers(t *testing.T) {
+	var got []Event
+	r := Func(func(e Event) { got = append(got, e) })
+	Post(r, "reach.grid", 3, 9)
+	Post(r, "sim", 4096, 0)
+	if len(got) != 2 {
+		t.Fatalf("got %d events, want 2", len(got))
+	}
+	if got[0] != (Event{Stage: "reach.grid", Done: 3, Total: 9}) {
+		t.Fatalf("event 0 = %+v", got[0])
+	}
+	if got[1] != (Event{Stage: "sim", Done: 4096, Total: 0}) {
+		t.Fatalf("event 1 = %+v", got[1])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"crncompose/internal/crn"
+	"crncompose/internal/progress"
 	"crncompose/internal/vec"
 )
 
@@ -153,7 +154,7 @@ func expandLevel(c *crn.CRN, in *shardedInterner, frontier []int32, nR int, o Op
 // exploreParallel runs a standalone parallel exploration: a private pool
 // whose o.Workers-1 helpers drain level tasks while the calling goroutine
 // owns the exploration.
-func exploreParallel(root crn.Config, o Options) *Graph {
+func exploreParallel(root crn.Config, o Options) (*Graph, error) {
 	pool := newStealPool()
 	pool.addOwner()
 	var wg sync.WaitGroup
@@ -164,10 +165,13 @@ func exploreParallel(root crn.Config, o Options) *Graph {
 			pool.drain()
 		}()
 	}
-	g := explorePooled(root, o, pool)
+	g, err := explorePooled(root, o, pool)
+	// dropOwner + Wait run on the error path too: a canceled exploration
+	// abandons no published tasks (the owner only returns at a level
+	// barrier), so the helpers always drain and exit.
 	pool.dropOwner()
 	wg.Wait()
-	return g
+	return g, err
 }
 
 // replayState is the canonical-renumbering state threaded across levels.
@@ -188,7 +192,13 @@ type replayState struct {
 // counts on the pool for large ones (replayLevelPar); both produce identical
 // output. The caller must hold an owner registration on pool for the
 // duration of the call.
-func explorePooled(root crn.Config, o Options, pool *stealPool) *Graph {
+//
+// Cancellation is polled once per level, at the barrier before expansion —
+// the exact point where the sequential engine's head boundary falls — so a
+// canceled exploration returns a nil graph and a wrapped ctx.Err() within
+// one level of work, and a completed one is byte-identical to an
+// uncancellable run.
+func explorePooled(root crn.Config, o Options, pool *stealPool) (*Graph, error) {
 	c := root.CRN()
 	d := c.NumSpecies() // also forces the CRN index build before workers start
 	g := &Graph{CRN: c, Complete: true, d: d, outIdx: c.OutputIndex()}
@@ -211,6 +221,12 @@ func explorePooled(root crn.Config, o Options, pool *stealPool) *Graph {
 	frontCanonStart := 0   // canonical id of frontier[0]
 
 	for len(frontier) > 0 && !st.truncated {
+		// Post before polling so a cancellation triggered by the reporter
+		// itself is honored at this barrier, not the next.
+		progress.Post(o.Progress, "reach.explore", int64(st.ncanon), 0)
+		if err := o.ctxErr(); err != nil {
+			return nil, err
+		}
 		// ncanon here counts every node through the end of this frontier, so
 		// if it already exceeds the budget the replay below would truncate at
 		// j=0 — the sequential engine stops at the same head. Bail before
@@ -245,7 +261,7 @@ func explorePooled(root crn.Config, o Options, pool *stealPool) *Graph {
 		copy(g.arena[cid*d:(cid+1)*d], in.arena.row(pid))
 	}
 	g.buildPred()
-	return g
+	return g, nil
 }
 
 // replayLevelSeq is the sequential renumbering replay: walk the frontier in

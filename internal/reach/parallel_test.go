@@ -298,7 +298,7 @@ func TestParallelReplayByteIdentical(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			seq := exploreSeq(tc.root, buildOptions(append(slices.Clone(tc.opts), WithWorkers(1))))
+			seq, _ := exploreSeq(tc.root, buildOptions(append(slices.Clone(tc.opts), WithWorkers(1))))
 			for _, workers := range []int{2, 3, 8} {
 				par := Explore(tc.root, append(slices.Clone(tc.opts), WithWorkers(workers))...)
 				requireGraphsIdentical(t, seq, par)
@@ -313,10 +313,10 @@ func TestParallelReplayBudgetSweepByteIdentical(t *testing.T) {
 	// Every budget from 0 to past the full graph must cut at the same
 	// boundary under the parallel replay as under the sequential one.
 	root := branchyCRN().MustInitialConfig(vec.New(3, 3))
-	full := exploreSeq(root, buildOptions(nil))
+	full, _ := exploreSeq(root, buildOptions(nil))
 	n := full.NumConfigs()
 	for budget := 0; budget <= n+1; budget += max(1, n/37) {
-		seq := exploreSeq(root, buildOptions([]Option{WithMaxConfigs(budget)}))
+		seq, _ := exploreSeq(root, buildOptions([]Option{WithMaxConfigs(budget)}))
 		par := Explore(root, WithWorkers(4), WithMaxConfigs(budget))
 		t.Run(fmt.Sprintf("budget-%d", budget), func(t *testing.T) {
 			requireGraphsIdentical(t, seq, par)

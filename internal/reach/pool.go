@@ -144,19 +144,23 @@ func (p *stealPool) drain() {
 // every worker expanding its frontiers — with every intermediate skew
 // rebalancing itself, which is what the old static outer × inner split
 // could not do.
-func runGridJobs(jobs []gridJob, o Options) []Verdict {
+func runGridJobs(jobs []gridJob, o Options) ([]Verdict, error) {
 	verdicts := make([]Verdict, len(jobs))
 	if len(jobs) == 0 {
-		return verdicts
+		return verdicts, nil
 	}
 	if o.Workers <= 1 {
 		for i := range jobs {
-			verdicts[i] = checkInput(jobs[i].root, jobs[i].want, o, nil)
-			if !verdicts[i].OK && !verdicts[i].Inconclusive {
+			v, err := checkInput(jobs[i].root, jobs[i].want, o, nil)
+			if err != nil {
+				return nil, err
+			}
+			verdicts[i] = v
+			if !v.OK && !v.Inconclusive {
 				break
 			}
 		}
-		return verdicts
+		return verdicts, nil
 	}
 	pool := newStealPool()
 	// failMin is the smallest job index known to have failed; jobs after it
@@ -165,16 +169,45 @@ func runGridJobs(jobs []gridJob, o Options) []Verdict {
 	// have been fully checked.
 	var next, failMin atomic.Int64
 	failMin.Store(int64(len(jobs)))
+	// ferr records the first cancellation any worker observed. Once the
+	// shared context is canceled every in-flight exploration unwinds at its
+	// next level barrier and every later claim fails on entry, so the whole
+	// chunk drains promptly; wg.Wait below guarantees no goroutine outlives
+	// the call even on the error path.
+	var ferr firstError
 	var wg sync.WaitGroup
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			gridWorker(jobs, verdicts, o, pool, &next, &failMin)
+			gridWorker(jobs, verdicts, o, pool, &next, &failMin, &ferr)
 		}()
 	}
 	wg.Wait()
-	return verdicts
+	if err := ferr.get(); err != nil {
+		return nil, err
+	}
+	return verdicts, nil
+}
+
+// firstError keeps the first error set; later sets are dropped.
+type firstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *firstError) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *firstError) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
 }
 
 // rangeTask is a claimable parallel loop over [0, n): pool workers (and the
@@ -227,7 +260,7 @@ func parallelFor(pool *stealPool, n, grain int, fn func(lo, hi int)) {
 	pool.retract(t)
 }
 
-func gridWorker(jobs []gridJob, verdicts []Verdict, o Options, pool *stealPool, next, failMin *atomic.Int64) {
+func gridWorker(jobs []gridJob, verdicts []Verdict, o Options, pool *stealPool, next, failMin *atomic.Int64, ferr *firstError) {
 	for {
 		if testStealJitter != nil {
 			testStealJitter()
@@ -242,8 +275,15 @@ func gridWorker(jobs []gridJob, verdicts []Verdict, o Options, pool *stealPool, 
 			pool.dropOwner()
 			continue
 		}
-		v := checkInput(jobs[i].root, jobs[i].want, o, pool)
+		v, err := checkInput(jobs[i].root, jobs[i].want, o, pool)
 		pool.dropOwner()
+		if err != nil {
+			// Cancellation: stop claiming. Workers still exploring see the
+			// same canceled context at their next level barrier, so leaving
+			// the remaining indices unclaimed never strands anyone.
+			ferr.set(err)
+			break
+		}
 		verdicts[i] = v
 		if !v.OK && !v.Inconclusive {
 			for {

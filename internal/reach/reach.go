@@ -41,11 +41,13 @@
 package reach
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 
 	"crncompose/internal/crn"
+	"crncompose/internal/progress"
 	"crncompose/internal/vec"
 )
 
@@ -65,7 +67,42 @@ type Options struct {
 	// 1 forces the sequential engine. Results are byte-identical at every
 	// setting and every steal schedule.
 	Workers int
+	// Progress, when non-nil, receives progress events from the calling
+	// goroutine at the engine's deterministic barrier points: "reach.grid"
+	// after every grid chunk, "reach.explore" at level barriers (parallel)
+	// or every cancelCheckHeads heads (sequential) of a standalone
+	// exploration. Attaching a Reporter never changes any computed result.
+	Progress progress.Reporter
+
+	// ctx is the run's cancellation context, attached only by the *Ctx
+	// entry points so the context always arrives as an explicit parameter.
+	// It is polled at the same deterministic points where Progress reports:
+	// a canceled run returns a wrapped ctx.Err() and never a partial
+	// verdict, and a run that completes is byte-identical to an
+	// uncancellable one.
+	ctx context.Context
 }
+
+// ctxErr polls the run's context; nil means "keep going". The returned
+// error wraps ctx.Err(), so errors.Is(err, context.Canceled) (or
+// DeadlineExceeded) holds for callers.
+func (o *Options) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.ctx.Done():
+		return fmt.Errorf("reach: run canceled: %w", o.ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// cancelCheckHeads is the head-count stride between the sequential engine's
+// cancellation polls and progress posts. Coarse enough that the poll is
+// free, fine enough that cancellation lands within a bounded slice of
+// exploration work.
+const cancelCheckHeads = 1024
 
 // Option mutates Options.
 type Option func(*Options)
@@ -81,6 +118,12 @@ func WithMaxCount(n int64) Option { return func(o *Options) { o.MaxCount = n } }
 // Options.Workers). n < 1 selects runtime.NumCPU(); n == 1 forces fully
 // sequential checking.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithProgress attaches a progress.Reporter to the run (see
+// Options.Progress). The Reporter is called only from the goroutine that
+// invoked the engine, at deterministic barrier points, and never changes
+// the computed result.
+func WithProgress(r progress.Reporter) Option { return func(o *Options) { o.Progress = r } }
 
 func buildOptions(opts []Option) Options {
 	o := Options{MaxConfigs: 1 << 18, MaxCount: 1 << 40, Workers: 0}
@@ -165,19 +208,38 @@ func (g *Graph) ParentVia(id int32) int32 { return g.parentVia[id] }
 // Graph is byte-identical to the sequential engine's, so verdicts, witness
 // traces, and ids never depend on the worker count.
 func Explore(root crn.Config, opts ...Option) *Graph {
-	return explore(root, buildOptions(opts), nil)
+	g, _ := explore(root, buildOptions(opts), nil) // no ctx attached: cannot fail
+	return g
+}
+
+// ExploreCtx is Explore under a cancellation context. The context is polled
+// only at deterministic points — level barriers on the parallel engine,
+// every cancelCheckHeads heads on the sequential one — so a run that
+// completes returns exactly Explore's graph; a canceled run returns a nil
+// graph and a wrapped ctx.Err(), never a partial graph.
+func ExploreCtx(ctx context.Context, root crn.Config, opts ...Option) (*Graph, error) {
+	o := buildOptions(opts)
+	o.ctx = ctx
+	return explore(root, o, nil)
 }
 
 // explore dispatches to the right engine: the caller's shared steal pool
 // when one is attached (grid checking), a private pool when the budget
 // allows (standalone parallel exploration), the sequential engine otherwise.
-func explore(root crn.Config, o Options, pool *stealPool) *Graph {
+// A non-nil error is always a cancellation (wrapped ctx.Err()) and comes
+// with a nil graph.
+func explore(root crn.Config, o Options, pool *stealPool) (*Graph, error) {
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	if o.Workers > 1 || pool != nil {
 		// Trivial state spaces (grid axis points, dead ends, small roots)
 		// are probed sequentially first so they skip the parallel engines'
 		// fixed setup — sharded interner, arena chunk, helper goroutines.
+		// The probe is bounded (smallProbeBudget heads), so it runs without
+		// cancellation polls of its own.
 		if g := exploreSmallProbe(root, o); g != nil {
-			return g
+			return g, nil
 		}
 	}
 	switch {
@@ -210,12 +272,17 @@ func exploreSmallProbe(root crn.Config, o Options) *Graph {
 	if smallProbeBudget <= 0 {
 		return nil
 	}
-	if o.MaxConfigs <= smallProbeBudget {
-		return exploreSeq(root, o) // the probe budget is the real budget
-	}
+	// The probe is bounded work (at most the probe budget plus one head),
+	// so it runs without cancellation polls: the caller checked the context
+	// on entry, and the probe finishes faster than a poll stride anyway.
 	p := o
+	p.ctx = nil
+	if o.MaxConfigs <= smallProbeBudget {
+		g, _ := exploreSeq(root, p) // the probe budget is the real budget
+		return g
+	}
 	p.MaxConfigs = smallProbeBudget
-	if g := exploreSeq(root, p); g.NumConfigs() <= smallProbeBudget {
+	if g, _ := exploreSeq(root, p); g.NumConfigs() <= smallProbeBudget {
 		return g
 	}
 	return nil
@@ -223,8 +290,10 @@ func exploreSmallProbe(root crn.Config, o Options) *Graph {
 
 // exploreSeq is the single-threaded engine: a FIFO BFS interning rows into
 // one flat append-grown arena. It defines the canonical id order the
-// parallel engine reproduces.
-func exploreSeq(root crn.Config, o Options) *Graph {
+// parallel engine reproduces. Cancellation is polled every
+// cancelCheckHeads heads — a deterministic boundary, so every completed
+// run is identical to an uncancellable one.
+func exploreSeq(root crn.Config, o Options) (*Graph, error) {
 	c := root.CRN()
 	d := c.NumSpecies()
 	g := &Graph{CRN: c, Complete: true, d: d, outIdx: c.OutputIndex()}
@@ -239,6 +308,14 @@ func exploreSeq(root crn.Config, o Options) *Graph {
 	scratch := make([]int64, d) // candidate successor row
 	succOff := make([]int32, 1, 1024)
 	for head := 0; head < in.n(); head++ {
+		if head%cancelCheckHeads == 0 && head > 0 {
+			// Post before polling so a cancellation triggered by the
+			// reporter itself is honored at this barrier, not the next.
+			progress.Post(o.Progress, "reach.explore", int64(in.n()), 0)
+			if err := o.ctxErr(); err != nil {
+				return nil, err
+			}
+		}
 		if in.n() > o.MaxConfigs {
 			g.Complete = false
 			break
@@ -272,7 +349,7 @@ func exploreSeq(root crn.Config, o Options) *Graph {
 	g.arena = in.arena
 	g.succOff = succOff
 	g.buildPred()
-	return g
+	return g, nil
 }
 
 // buildPred derives the predecessor CSR from the successor CSR: count
@@ -392,15 +469,35 @@ type Verdict struct {
 // given initial configuration. It implements the literal Section 2.2
 // definition on the bounded reachability graph.
 func CheckInput(root crn.Config, want int64, opts ...Option) Verdict {
-	return checkInput(root, want, buildOptions(opts), nil)
+	v, _ := checkInput(root, want, buildOptions(opts), nil) // no ctx: cannot fail
+	return v
+}
+
+// CheckInputCtx is CheckInput under a cancellation context: a canceled run
+// returns a zero Verdict and a wrapped ctx.Err(), never a partial verdict,
+// and a run that completes returns exactly CheckInput's verdict.
+func CheckInputCtx(ctx context.Context, root crn.Config, want int64, opts ...Option) (Verdict, error) {
+	o := buildOptions(opts)
+	o.ctx = ctx
+	return checkInput(root, want, o, nil)
 }
 
 // checkInput runs the stable-computation check on the given engine options,
-// exploring on the caller's shared steal pool when one is attached.
-func checkInput(root crn.Config, want int64, o Options, pool *stealPool) Verdict {
-	g := explore(root, o, pool)
+// exploring on the caller's shared steal pool when one is attached. A
+// non-nil error is always a cancellation and comes with a zero Verdict.
+func checkInput(root crn.Config, want int64, o Options, pool *stealPool) (Verdict, error) {
+	g, err := explore(root, o, pool)
+	if err != nil {
+		return Verdict{}, err
+	}
 	if !g.Complete {
-		return Verdict{Inconclusive: true, Explored: g.NumConfigs(), Err: ErrBudget}
+		return Verdict{Inconclusive: true, Explored: g.NumConfigs(), Err: ErrBudget}, nil
+	}
+	// The verdict passes below are bounded by the explored graph, but on
+	// big graphs they are a visible slice of work; poll once before each so
+	// cancellation still lands within one pass.
+	if err := o.ctxErr(); err != nil {
+		return Verdict{}, err
 	}
 	minY, maxY := g.outputBounds()
 	n := g.NumConfigs()
@@ -426,14 +523,14 @@ func checkInput(root crn.Config, want int64, o Options, pool *stealPool) Verdict
 					Err:      fmt.Errorf("reach: no correct stable configuration; output overshoots to %d (want %d)", y, want),
 					Witness:  &tr,
 					Explored: n,
-				}
+				}, nil
 			}
 		}
 		return Verdict{
 			OK:       false,
 			Err:      fmt.Errorf("reach: no stable configuration with output %d is reachable", want),
 			Explored: n,
-		}
+		}, nil
 	}
 
 	// Backward closure of the correct stable configurations.
@@ -464,10 +561,10 @@ func checkInput(root crn.Config, want int64, o Options, pool *stealPool) Verdict
 					g.Config(int32(i)), want),
 				Witness:  &tr,
 				Explored: n,
-			}
+			}, nil
 		}
 	}
-	return Verdict{OK: true, Explored: n}
+	return Verdict{OK: true, Explored: n}, nil
 }
 
 // Func is an integer-valued function f : N^d -> N given as an evaluator.
@@ -496,10 +593,24 @@ type gridJob struct {
 // concurrency never changes which failure is reported or the counts for
 // inputs preceding it.
 func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, error) {
+	return checkGrid(c, f, lo, hi, buildOptions(opts))
+}
+
+// CheckGridCtx is CheckGrid under a cancellation context. The context is
+// polled only at grid-chunk boundaries and at the engines' own barrier
+// points, so a run that completes returns exactly CheckGrid's result at any
+// worker count; a canceled run returns a zero GridResult and a wrapped
+// ctx.Err(), never partial counts.
+func CheckGridCtx(ctx context.Context, c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, error) {
+	o := buildOptions(opts)
+	o.ctx = ctx
+	return checkGrid(c, f, lo, hi, o)
+}
+
+func checkGrid(c *crn.CRN, f Func, lo, hi []int64, o Options) (GridResult, error) {
 	if len(lo) != c.Dim() || len(hi) != c.Dim() {
 		return GridResult{}, fmt.Errorf("reach: grid arity %d/%d does not match CRN arity %d", len(lo), len(hi), c.Dim())
 	}
-	o := buildOptions(opts)
 
 	// Lazily enumerate the grid in lexicographic order, materializing roots
 	// and expected outputs chunk by chunk. An enumeration error (bad initial
@@ -540,10 +651,25 @@ func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, 
 	}
 
 	res := GridResult{}
+	total := gridTotal(lo, hi)
+	// Per-input options drop the Reporter: grid progress is posted here, at
+	// chunk boundaries, from the calling goroutine only — never from the
+	// concurrently exploring workers.
+	io := o
+	io.Progress = nil
 	chunkSize := max(64, 8*o.Workers)
 	for {
+		// The chunk boundary is the grid check's deterministic cancellation
+		// point: a canceled run stops here (or inside a worker's own level
+		// barrier) and reports no partial counts.
+		if err := o.ctxErr(); err != nil {
+			return GridResult{}, err
+		}
 		jobs := nextChunk(chunkSize)
-		verdicts := runGridJobs(jobs, o)
+		verdicts, err := runGridJobs(jobs, io)
+		if err != nil {
+			return GridResult{}, err
+		}
 		for i := range jobs {
 			v := verdicts[i]
 			res.Checked++
@@ -555,10 +681,28 @@ func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, 
 				return res, nil
 			}
 		}
+		progress.Post(o.Progress, "reach.grid", int64(res.Checked), total)
 		if done || enumErr != nil {
 			return res, enumErr
 		}
 	}
+}
+
+// gridTotal returns the number of grid points in [lo, hi], or 0 when the
+// product overflows int64 (progress then reports an unknown total).
+func gridTotal(lo, hi []int64) int64 {
+	total := int64(1)
+	for i := range lo {
+		ext := hi[i] - lo[i] + 1
+		if ext <= 0 {
+			return 0
+		}
+		if total > (1<<62)/ext {
+			return 0
+		}
+		total *= ext
+	}
+	return total
 }
 
 // CheckRect is CheckGrid on one axis-aligned rectangle of a larger grid —
@@ -572,6 +716,14 @@ func CheckGrid(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, 
 // exactly CheckGrid's first-failure-in-grid-order semantics.
 func CheckRect(c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, error) {
 	return CheckGrid(c, f, lo, hi, opts...)
+}
+
+// CheckRectCtx is CheckRect under a cancellation context (see CheckGridCtx
+// for the semantics). It is the entry point distributed workers use so a
+// revoked lease or local shutdown stops the engine within one chunk/level
+// boundary instead of wasting the rectangle's remaining work.
+func CheckRectCtx(ctx context.Context, c *crn.CRN, f Func, lo, hi []int64, opts ...Option) (GridResult, error) {
+	return CheckGridCtx(ctx, c, f, lo, hi, opts...)
 }
 
 // GridResult summarizes a CheckGrid run. The JSON encoding is the wire form

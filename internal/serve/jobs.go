@@ -20,20 +20,38 @@ import (
 // byte-identical to the synchronous /v1/check response — is inserted into
 // the response cache so later checks of the same request are plain hits.
 //
-// Jobs run one at a time: a single grid check already saturates the
-// server's worker budget (local mode) or the coordinator address (dist
-// mode), so running jobs concurrently would only add contention. Progress
-// is reported in completed rectangles — the same unit the distributed
-// checker leases — with the grid split exactly as a coordinator would
-// split it.
+// Up to Config.MaxJobs jobs execute concurrently — distinct content
+// addresses are independent computations, and a server with spare worker
+// budget can overlap them — with further submissions queuing in order.
+// Every job runs under its own context (derived from the server's):
+// DELETE /v1/jobs/{id} cancels it, and the engine unwinds at its next
+// rectangle/chunk boundary, leaving the job in the terminal "canceled"
+// state with no partial result. Progress is reported in completed
+// rectangles — the same unit the distributed checker leases — with the
+// grid split exactly as a coordinator would split it.
+//
+// Terminal jobs (done, failed, canceled) are garbage-collected from the
+// table after Config.JobTTL. A done job's body survives in the response
+// cache under the same key, so its result remains reachable: re-submitting
+// yields a fresh pre-completed job instantly.
 
 // Job states.
 const (
-	jobQueued  = "queued"
-	jobRunning = "running"
-	jobDone    = "done"
-	jobFailed  = "failed"
+	jobQueued   = "queued"
+	jobRunning  = "running"
+	jobDone     = "done"
+	jobFailed   = "failed"
+	jobCanceled = "canceled"
 )
+
+// terminalState reports whether a job state is final.
+func terminalState(state string) bool {
+	switch state {
+	case jobDone, jobFailed, jobCanceled:
+		return true
+	}
+	return false
+}
 
 // JobStatus is the status document of GET /v1/jobs/{id} (and the 202 body
 // of submissions). Progress is counted in completed grid rectangles.
@@ -51,46 +69,61 @@ type asyncJob struct {
 	id    string
 	check *checkJob
 
-	state     string
-	rects     int
-	rectsDone int
-	body      []byte // finished /v1/check body (state == jobDone)
-	errMsg    string // state == jobFailed
+	// ctx governs the job's computation; cancel is what DELETE calls. Both
+	// are immutable after getOrCreate (cancel is safe to call repeatedly).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state      string
+	rects      int
+	rectsDone  int
+	body       []byte    // finished /v1/check body (state == jobDone)
+	errMsg     string    // state == jobFailed or jobCanceled
+	finishedAt time.Time // when the job reached a terminal state (for GC)
 
 	done chan struct{}
 }
 
-// jobTable owns every submitted job and the serial execution queue.
+// jobTable owns every submitted job and the execution queue.
 type jobTable struct {
 	mu    sync.Mutex
 	jobs  map[string]*asyncJob
 	queue chan *asyncJob
+	now   func() time.Time // injectable for TTL tests
 }
 
 func newJobTable() *jobTable {
 	return &jobTable{
 		jobs:  make(map[string]*asyncJob),
 		queue: make(chan *asyncJob, 256),
+		now:   time.Now,
 	}
 }
 
 // getOrCreate returns the job for j's content address, creating and
 // enqueueing it if new. A request whose result is already cached gets a
 // pre-completed job, so submitting a job for a finished computation is
-// instantaneous at any later time. A previously failed job is replaced by a
-// fresh submission — failures (a full queue, a coordinator that could not
-// bind, an enumeration error) must not poison the content address for the
-// server's lifetime.
+// instantaneous at any later time. A previously failed or canceled job is
+// replaced by a fresh submission — failures (a full queue, a coordinator
+// that could not bind, an enumeration error) and cancellations must not
+// poison the content address for the server's lifetime.
 func (jt *jobTable) getOrCreate(j *checkJob, s *Server) *asyncJob {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
-	if jb, ok := jt.jobs[j.key]; ok && jb.state != jobFailed {
+	if jb, ok := jt.jobs[j.key]; ok && jb.state != jobFailed && jb.state != jobCanceled {
 		return jb
 	}
 	jb := &asyncJob{id: j.key, check: j, state: jobQueued, done: make(chan struct{})}
+	base := s.baseCtx
+	if base == nil { // bare Server in table-level tests
+		base = context.Background()
+	}
+	jb.ctx, jb.cancel = context.WithCancel(base)
 	if val, ok := s.cache.get(j.key); ok {
 		jb.state = jobDone
 		jb.body = val.body
+		jb.finishedAt = jt.now()
+		jb.cancel()
 		close(jb.done)
 		jt.jobs[j.key] = jb
 		return jb
@@ -100,6 +133,8 @@ func (jt *jobTable) getOrCreate(j *checkJob, s *Server) *asyncJob {
 	default:
 		jb.state = jobFailed
 		jb.errMsg = "job queue full"
+		jb.finishedAt = jt.now()
+		jb.cancel()
 		close(jb.done)
 	}
 	jt.jobs[j.key] = jb
@@ -110,6 +145,35 @@ func (jt *jobTable) get(id string) *asyncJob {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	return jt.jobs[id]
+}
+
+// allTerminal reports whether every job in the table is in a terminal
+// state — the drain loop's exit condition.
+func (jt *jobTable) allTerminal() bool {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	for _, jb := range jt.jobs {
+		if !terminalState(jb.state) {
+			return false
+		}
+	}
+	return true
+}
+
+// gc removes terminal jobs whose finishedAt is at least ttl old and
+// returns how many were dropped. Done jobs' bodies stay in the response
+// cache; only the table entry expires.
+func (jt *jobTable) gc(now time.Time, ttl time.Duration) int {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	n := 0
+	for id, jb := range jt.jobs {
+		if terminalState(jb.state) && !jb.finishedAt.IsZero() && now.Sub(jb.finishedAt) >= ttl {
+			delete(jt.jobs, id)
+			n++
+		}
+	}
+	return n
 }
 
 // statusDoc snapshots the job for clients.
@@ -132,13 +196,49 @@ func (jt *jobTable) status(jb *asyncJob) JobStatus {
 	return jb.statusDoc()
 }
 
-// runJobs is the server's job runner goroutine: jobs execute strictly one
-// at a time in submission order until the server shuts down.
+// gcJobs is the job-table janitor goroutine: it expires terminal jobs
+// older than Config.JobTTL until the server shuts down.
+func (s *Server) gcJobs() {
+	interval := s.cfg.JobTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n := s.jobs.gc(s.jobs.now(), s.cfg.JobTTL); n > 0 {
+				s.logf("job gc: expired %d terminal job(s)", n)
+			}
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// runJobs is the server's job dispatcher goroutine: it admits queued jobs
+// into runner goroutines under the MaxJobs budget until the server shuts
+// down. Each runner is tracked on jobWG so Drain can await them.
 func (s *Server) runJobs() {
+	sem := make(chan struct{}, s.cfg.MaxJobs)
 	for {
 		select {
 		case jb := <-s.jobs.queue:
-			s.runJob(jb)
+			select {
+			case sem <- struct{}{}:
+			case <-s.baseCtx.Done():
+				return
+			}
+			s.jobWG.Add(1)
+			go func() {
+				defer s.jobWG.Done()
+				defer func() { <-sem }()
+				s.runJob(jb)
+			}()
 		case <-s.baseCtx.Done():
 			return
 		}
@@ -146,26 +246,35 @@ func (s *Server) runJobs() {
 }
 
 // runJob executes one job to a terminal state and publishes its body to the
-// response cache.
+// response cache. A job canceled before or during execution lands in
+// "canceled" with no partial result.
 func (s *Server) runJob(jb *asyncJob) {
-	s.computed("job")
 	var body []byte
 	var err error
-	if s.cfg.DistCoordinator != "" {
-		body, err = s.runJobDist(jb)
-	} else {
-		body, err = s.runJobLocal(jb)
+	if err = jb.ctx.Err(); err == nil {
+		s.computed("job")
+		if s.cfg.DistCoordinator != "" {
+			body, err = s.runJobDist(jb)
+		} else {
+			body, err = s.runJobLocal(jb)
+		}
 	}
 	s.jobs.mu.Lock()
-	if err != nil {
+	switch {
+	case err != nil && jb.ctx.Err() != nil:
+		jb.state = jobCanceled
+		jb.errMsg = err.Error()
+	case err != nil:
 		jb.state = jobFailed
 		jb.errMsg = err.Error()
-	} else {
+	default:
 		jb.state = jobDone
 		jb.body = body
 		s.cache.put(jb.id, cached{status: http.StatusOK, contentType: contentTypeJSON, body: body})
 	}
+	jb.finishedAt = s.jobs.now()
 	s.jobs.mu.Unlock()
+	jb.cancel()
 	close(jb.done)
 	s.logf("job %.12s…: %s", jb.id, jb.state)
 }
@@ -176,7 +285,8 @@ func (s *Server) runJob(jb *asyncJob) {
 // sum in grid order, the first rectangle with a failure contributes its
 // partial counts and stops the run — so the finished body is byte-identical
 // to the synchronous CheckGrid body (the dist subsystem's pinned
-// invariant), while progress advances a rectangle at a time.
+// invariant), while progress advances a rectangle at a time. Each rectangle
+// runs under the job's context, so a DELETE lands within one chunk of work.
 func (s *Server) runJobLocal(jb *asyncJob) ([]byte, error) {
 	cc := jb.check.cc
 	shards := s.cfg.Shards
@@ -194,19 +304,19 @@ func (s *Server) runJobLocal(jb *asyncJob) ([]byte, error) {
 
 	var out reach.GridResult
 	for _, r := range rects {
-		res, err := reach.CheckRect(jb.check.c, jb.check.f, r.Lo, r.Hi,
+		res, err := reach.CheckRectCtx(jb.ctx, jb.check.c, jb.check.f, r.Lo, r.Hi,
 			reach.WithMaxConfigs(cc.MaxConfigs),
 			reach.WithMaxCount(cc.MaxCount),
 			reach.WithWorkers(s.cfg.Workers))
+		if err != nil {
+			return nil, err
+		}
 		out.Checked += res.Checked
 		out.Inconclusive += res.Inconclusive
 		out.Explored += res.Explored
 		s.jobs.mu.Lock()
 		jb.rectsDone++
 		s.jobs.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
 		if res.Failure != nil {
 			out.Failure = res.Failure
 			break
@@ -219,7 +329,9 @@ func (s *Server) runJobLocal(jb *asyncJob) ([]byte, error) {
 // configured address; external workers (`crncheck -join addr`) do the
 // computation. The merged result is byte-identical to a local run by the
 // dist subsystem's determinism contract, so the finished body is the same
-// bytes either way.
+// bytes either way. Waiting is bounded by the job's context: a DELETE
+// cancels the wait and shuts the coordinator down, letting workers see the
+// job disappear and exit.
 func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 	cc := jb.check.cc
 	co, err := dist.NewCoordinator(dist.CoordinatorConfig{
@@ -254,7 +366,7 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 	var res reach.GridResult
 	var werr error
 	go func() {
-		res, werr = co.Wait(s.baseCtx)
+		res, werr = co.Wait(jb.ctx)
 		close(waitDone)
 	}()
 	t := time.NewTicker(200 * time.Millisecond)
@@ -283,7 +395,12 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 // handleJobSubmit serves POST /v1/jobs: the body is a CheckRequest; the
 // response is 202 with the job's status document (Location points at the
 // status URL). Identical submissions — concurrent or later — share one job.
+// A draining server admits nothing and answers 503.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
 	var req CheckRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -308,6 +425,32 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobs.status(jb))
 }
 
+// handleJobDelete serves DELETE /v1/jobs/{id}. Deleting a queued or
+// running job cancels its context — the engine unwinds at its next
+// rectangle/chunk boundary and the job transitions to "canceled" — and
+// answers 200 with the (possibly not yet terminal) status document.
+// Deleting a terminal job removes it from the table and answers 200; a
+// done job's result body remains reachable through the response cache.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	jb := s.jobs.get(id)
+	if jb == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	s.jobs.mu.Lock()
+	if terminalState(jb.state) {
+		delete(s.jobs.jobs, id)
+		st := jb.statusDoc()
+		s.jobs.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	s.jobs.mu.Unlock()
+	jb.cancel()
+	writeJSON(w, http.StatusOK, s.jobs.status(jb))
+}
+
 // handleJobResult serves GET /v1/jobs/{id}/result: the finished body, byte
 // -identical to the synchronous /v1/check response (and to crncheck -json).
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
@@ -323,7 +466,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		body := jb.body
 		s.jobs.mu.Unlock()
 		writeCached(w, cached{status: http.StatusOK, contentType: contentTypeJSON, body: body}, cacheHit)
-	case jobFailed:
+	case jobFailed, jobCanceled:
 		writeError(w, http.StatusUnprocessableEntity, errors.New(st.Error))
 	default:
 		writeError(w, http.StatusConflict, fmt.Errorf("job is %s; poll /v1/jobs/%s", st.State, st.ID))

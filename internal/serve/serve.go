@@ -5,15 +5,17 @@
 //
 // # Endpoints
 //
-//	GET  /healthz               liveness
-//	GET  /v1/stats              cache and job counters
-//	POST /v1/classify           Theorem 5.2 classification of a library function
-//	POST /v1/synthesize         output-oblivious CRN synthesis (Lemma 6.2 / Thm 9.2)
-//	POST /v1/check              stable-computation model checking on a grid
-//	POST /v1/simulate           seeded Gillespie / fair-random ensembles
-//	POST /v1/jobs               submit a grid check as an asynchronous job
-//	GET  /v1/jobs/{id}          job status (progress in completed rectangles)
-//	GET  /v1/jobs/{id}/result   finished job body (the exact /v1/check bytes)
+//	GET    /healthz               liveness
+//	GET    /readyz                readiness (503 while draining)
+//	GET    /v1/stats              cache and job counters
+//	POST   /v1/classify           Theorem 5.2 classification of a library function
+//	POST   /v1/synthesize         output-oblivious CRN synthesis (Lemma 6.2 / Thm 9.2)
+//	POST   /v1/check              stable-computation model checking on a grid
+//	POST   /v1/simulate           seeded Gillespie / fair-random ensembles
+//	POST   /v1/jobs               submit a grid check as an asynchronous job
+//	GET    /v1/jobs/{id}          job status (progress in completed rectangles)
+//	DELETE /v1/jobs/{id}          cancel a queued/running job; drop a terminal one
+//	GET    /v1/jobs/{id}/result   finished job body (the exact /v1/check bytes)
 //
 // # Caching
 //
@@ -40,12 +42,15 @@
 //
 // Grids of at most Config.SyncGridLimit points are checked on the request
 // path under the server-owned worker budget. Larger grids become jobs
-// (202 + job id): executed one at a time off the request path, either
+// (202 + job id): executed off the request path — up to Config.MaxJobs
+// concurrently, each under its own cancellable context — either
 // rectangle-by-rectangle on the local steal-pool engine or — when
 // Config.DistCoordinator is set — by starting an internal/dist coordinator
 // on that address and letting external `crncheck -join` workers compute the
 // rectangles, which makes the distributed subsystem reachable from a single
-// user-facing API.
+// user-facing API. DELETE /v1/jobs/{id} cancels a job; on SIGTERM the
+// server drains (Drain): admission closes, in-flight jobs finish (or are
+// canceled at the drain deadline), and the process exits cleanly.
 package serve
 
 import (
@@ -55,6 +60,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"crncompose/internal/classify"
@@ -70,6 +77,8 @@ import (
 const (
 	DefaultCacheMax      = 1024
 	DefaultSyncGridLimit = 512
+	DefaultMaxJobs       = 2
+	DefaultJobTTL        = 15 * time.Minute
 )
 
 const contentTypeJSON = "application/json"
@@ -87,6 +96,17 @@ type Config struct {
 	// synchronously on the request path; larger /v1/check grids are answered
 	// 202 with an async job. 0 means DefaultSyncGridLimit.
 	SyncGridLimit int64
+	// MaxJobs is the admission budget for concurrently executing async jobs
+	// (0 = DefaultMaxJobs). Submissions beyond it queue; each running job
+	// still gets the full Workers budget, so MaxJobs > 1 trades per-job
+	// latency for throughput across distinct content addresses.
+	MaxJobs int
+	// JobTTL bounds how long a terminal (done/failed/canceled) job stays in
+	// the job table before the janitor removes it (0 = DefaultJobTTL,
+	// negative disables expiry). A done job's result body remains reachable
+	// through the response cache after the table entry expires: re-submitting
+	// the same request yields a fresh pre-completed job instantly.
+	JobTTL time.Duration
 	// DistCoordinator, when nonempty, runs async jobs through an
 	// internal/dist coordinator listening on this host:port; external
 	// workers (`crncheck -join`) compute the rectangles. Empty runs jobs on
@@ -111,6 +131,13 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
+	// draining is set by Drain: /readyz answers 503 and new job submissions
+	// are rejected while in-flight jobs run to completion.
+	draining atomic.Bool
+	// jobWG tracks every job-runner goroutine, so drain/shutdown can await
+	// them after the dispatcher exits.
+	jobWG sync.WaitGroup
+
 	// testComputed, when non-nil, observes every real engine computation
 	// (cache misses only) with the operation name — how tests count that N
 	// deduplicated requests cost one run.
@@ -131,6 +158,12 @@ func New(cfg Config) *Server {
 	if cfg.SyncGridLimit == 0 {
 		cfg.SyncGridLimit = DefaultSyncGridLimit
 	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = DefaultJobTTL
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: newResultCache(cfg.CacheMax),
@@ -138,6 +171,9 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	go s.runJobs()
+	if cfg.JobTTL > 0 {
+		go s.gcJobs()
+	}
 	return s
 }
 
@@ -164,6 +200,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false, "draining": true})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	})
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
@@ -171,6 +214,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	return mux
 }
@@ -516,13 +560,55 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Shutdown stops the HTTP server and the job runner.
+// Shutdown stops the HTTP server and the job runner immediately: running
+// jobs are canceled (they unwind at their next chunk boundary) rather than
+// awaited. For a clean exit that lets in-flight jobs finish, use Drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.cancel()
 	if s.srv == nil {
 		return nil
 	}
 	return s.srv.Shutdown(ctx)
+}
+
+// Drain is graceful shutdown: stop admitting jobs (/readyz flips to 503 and
+// POST /v1/jobs answers 503), let queued and running jobs finish, then stop
+// the HTTP server. If ctx expires first, the remaining jobs are canceled —
+// they transition to "canceled" at their next cancellation point — and the
+// runners are given a short bounded grace to unwind. Drain always returns
+// nil after a best-effort stop so callers can exit 0 on SIGTERM.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.logf("drain: admission closed; awaiting jobs")
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for !s.jobs.allTerminal() {
+		select {
+		case <-ctx.Done():
+			s.logf("drain: deadline reached; canceling remaining jobs")
+			s.cancel()
+			break wait
+		case <-tick.C:
+		}
+	}
+	// Await the runner goroutines (bounded: a canceled engine returns within
+	// one chunk/level of work, but never hold the process hostage).
+	runnersDone := make(chan struct{})
+	go func() { s.jobWG.Wait(); close(runnersDone) }()
+	select {
+	case <-runnersDone:
+	case <-time.After(5 * time.Second):
+		s.logf("drain: job runners still unwinding at exit")
+	}
+	s.cancel()
+	if s.srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.srv.Shutdown(sctx)
+	}
+	s.logf("drain: complete")
+	return nil
 }
 
 // encodeJSON renders a response document in the server's JSON presentation

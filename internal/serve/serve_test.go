@@ -356,7 +356,7 @@ func awaitJob(t *testing.T, base, id string) JobStatus {
 		if err := json.Unmarshal(body, &js); err != nil {
 			t.Fatal(err)
 		}
-		if js.State == jobDone || js.State == jobFailed {
+		if terminalState(js.State) {
 			return js
 		}
 		if time.Now().After(deadline) {

@@ -13,12 +13,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"slices"
 
 	"crncompose/internal/crn"
+	"crncompose/internal/progress"
 )
 
 // Result is the outcome of one simulated trial.
@@ -47,6 +49,37 @@ type Options struct {
 	// computation: a run is only declared converged while no applicable
 	// reaction could still change the output. Zero disables the criterion.
 	SilentSteps int64
+	// Progress, when non-nil, receives a "sim" event every cancelWindow
+	// steps from the simulating goroutine (Done = steps fired, Total =
+	// MaxSteps). Attaching a Reporter never changes the step sequence.
+	Progress progress.Reporter
+
+	// ctx is the run's cancellation context, attached only by the *Ctx
+	// entry points. It is polled every cancelWindow steps — a deterministic
+	// boundary, so same-seed runs that complete are bit-identical whether
+	// or not a context is attached; a canceled run returns a zero Result
+	// and a wrapped ctx.Err(), never a partial trajectory.
+	ctx context.Context
+}
+
+// cancelWindow is the step stride between cancellation polls and progress
+// posts of every simulator loop: coarse enough to be free next to the
+// per-step propensity work, fine enough that cancellation lands in
+// microseconds.
+const cancelWindow = 4096
+
+// ctxErr polls the run's context; nil means "keep going". The returned
+// error wraps ctx.Err(), so errors.Is(err, context.Canceled) holds.
+func (o *Options) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.ctx.Done():
+		return fmt.Errorf("sim: run canceled: %w", o.ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // Option mutates Options.
@@ -60,6 +93,10 @@ func WithSeed(s uint64) Option { return func(o *Options) { o.Seed = s } }
 
 // WithSilentSteps sets the silence-based convergence criterion.
 func WithSilentSteps(n int64) Option { return func(o *Options) { o.SilentSteps = n } }
+
+// WithProgress attaches a progress.Reporter to the run (see
+// Options.Progress).
+func WithProgress(r progress.Reporter) Option { return func(o *Options) { o.Progress = r } }
 
 func buildOptions(opts []Option) Options {
 	o := Options{MaxSteps: 50_000_000, Seed: 1}
@@ -184,7 +221,20 @@ func propensity(cur crn.Config, ri int) float64 {
 // generator, so same-seed runs reproduce steps, simulated time, and final
 // configuration exactly.
 func Gillespie(start crn.Config, opts ...Option) Result {
+	r, _ := gillespie(start, buildOptions(opts)) // no ctx attached: cannot fail
+	return r
+}
+
+// GillespieCtx is Gillespie under a cancellation context, polled every
+// cancelWindow steps: a canceled run returns a zero Result and a wrapped
+// ctx.Err(), and a completed same-seed run is bit-identical to Gillespie's.
+func GillespieCtx(ctx context.Context, start crn.Config, opts ...Option) (Result, error) {
 	o := buildOptions(opts)
+	o.ctx = ctx
+	return gillespie(start, o)
+}
+
+func gillespie(start crn.Config, o Options) (Result, error) {
 	rng := rand.New(rand.NewPCG(o.Seed, 0x9E3779B97F4A7C15))
 	c := start.CRN()
 	cs := compileSim(c)
@@ -211,10 +261,18 @@ func Gillespie(start crn.Config, opts ...Option) Result {
 	const refreshEvery = 1 << 16
 
 	for steps < o.MaxSteps {
+		if steps%cancelWindow == 0 {
+			if steps > 0 {
+				progress.Post(o.Progress, "sim", steps, o.MaxSteps)
+			}
+			if err := o.ctxErr(); err != nil {
+				return Result{}, err
+			}
+		}
 		if total <= 0 {
 			refresh()
 			if total <= 0 {
-				return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: true}
+				return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: true}, nil
 			}
 		}
 		// Exponential waiting time with rate = total propensity.
@@ -249,10 +307,10 @@ func Gillespie(start crn.Config, opts ...Option) Result {
 		// it. Applicability is probed exactly (not via the drift-prone
 		// incremental propensities).
 		if o.SilentSteps > 0 && silent >= o.SilentSteps && cs.outputSilent(c, counts) {
-			return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: true}
+			return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: true}, nil
 		}
 	}
-	return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: false}
+	return Result{Final: c.DenseConfig(counts), Steps: steps, Time: t, Converged: false}, nil
 }
 
 // pick selects the reaction whose propensity interval contains u, scanning
@@ -287,7 +345,20 @@ func pick(props []float64, u float64) int {
 // order the full walk produced — so same-seed runs reproduce the
 // pre-incremental step sequences bit for bit.
 func FairRandom(start crn.Config, opts ...Option) Result {
+	r, _ := fairRandom(start, buildOptions(opts)) // no ctx attached: cannot fail
+	return r
+}
+
+// FairRandomCtx is FairRandom under a cancellation context, polled every
+// cancelWindow steps: a canceled run returns a zero Result and a wrapped
+// ctx.Err(), and a completed same-seed run is bit-identical to FairRandom's.
+func FairRandomCtx(ctx context.Context, start crn.Config, opts ...Option) (Result, error) {
 	o := buildOptions(opts)
+	o.ctx = ctx
+	return fairRandom(start, o)
+}
+
+func fairRandom(start crn.Config, o Options) (Result, error) {
 	rng := rand.New(rand.NewPCG(o.Seed, 0xDA942042E4DD58B5))
 	c := start.CRN()
 	cs := compileSim(c)
@@ -308,8 +379,16 @@ func FairRandom(start crn.Config, opts ...Option) Result {
 	lastY := counts[cs.outIdx]
 
 	for steps < o.MaxSteps {
+		if steps%cancelWindow == 0 {
+			if steps > 0 {
+				progress.Post(o.Progress, "sim", steps, o.MaxSteps)
+			}
+			if err := o.ctxErr(); err != nil {
+				return Result{}, err
+			}
+		}
 		if len(applicable) == 0 {
-			return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: true}
+			return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: true}, nil
 		}
 		ri := int(applicable[rng.IntN(len(applicable))])
 		c.ApplyInto(counts, counts, ri)
@@ -334,10 +413,10 @@ func FairRandom(start crn.Config, opts ...Option) Result {
 			silent++
 		}
 		if o.SilentSteps > 0 && silent >= o.SilentSteps && cs.outputSilent(c, counts) {
-			return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: true}
+			return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: true}, nil
 		}
 	}
-	return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: false}
+	return Result{Final: c.DenseConfig(counts), Steps: steps, Converged: false}, nil
 }
 
 // Scheduler selects the next reaction to fire among the applicable ones.
@@ -346,18 +425,38 @@ type Scheduler func(cur crn.Config, applicable []int, step int64) int
 
 // RunScheduled drives a simulation with a custom scheduler.
 func RunScheduled(start crn.Config, sched Scheduler, opts ...Option) Result {
+	r, _ := runScheduled(start, sched, buildOptions(opts)) // no ctx attached: cannot fail
+	return r
+}
+
+// RunScheduledCtx is RunScheduled under a cancellation context, polled
+// every cancelWindow steps (see GillespieCtx for the semantics).
+func RunScheduledCtx(ctx context.Context, start crn.Config, sched Scheduler, opts ...Option) (Result, error) {
 	o := buildOptions(opts)
+	o.ctx = ctx
+	return runScheduled(start, sched, o)
+}
+
+func runScheduled(start crn.Config, sched Scheduler, o Options) (Result, error) {
 	cur := start.Clone()
 	var applicable []int
 	var steps int64
 	for steps < o.MaxSteps {
+		if steps%cancelWindow == 0 {
+			if steps > 0 {
+				progress.Post(o.Progress, "sim", steps, o.MaxSteps)
+			}
+			if err := o.ctxErr(); err != nil {
+				return Result{}, err
+			}
+		}
 		applicable = cur.ApplicableReactions(applicable)
 		if len(applicable) == 0 {
-			return Result{Final: cur, Steps: steps, Converged: true}
+			return Result{Final: cur, Steps: steps, Converged: true}, nil
 		}
 		ri := sched(cur, applicable, steps)
 		if ri < 0 {
-			return Result{Final: cur, Steps: steps, Converged: false}
+			return Result{Final: cur, Steps: steps, Converged: false}, nil
 		}
 		found := false
 		for _, a := range applicable {
@@ -372,7 +471,7 @@ func RunScheduled(start crn.Config, sched Scheduler, opts ...Option) Result {
 		cur.ApplyInPlace(ri)
 		steps++
 	}
-	return Result{Final: cur, Steps: steps, Converged: false}
+	return Result{Final: cur, Steps: steps, Converged: false}, nil
 }
 
 // PreferScheduler returns a Scheduler that always fires the applicable

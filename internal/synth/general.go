@@ -6,6 +6,7 @@ import (
 	"crncompose/internal/classify"
 	"crncompose/internal/compose"
 	"crncompose/internal/crn"
+	"crncompose/internal/progress"
 	"crncompose/internal/quilt"
 	"crncompose/internal/semilinear"
 	"crncompose/internal/vec"
@@ -15,11 +16,32 @@ import (
 type GeneralOptions struct {
 	// Classify passes through to the classifier; a smaller Bound yields a
 	// smaller eventual threshold n and therefore a much smaller CRN.
+	// Classify.Ctx, when set, also cancels the synthesis itself: the
+	// construction polls it before every restriction module it builds (the
+	// recursion of equation (1)), so a canceled General returns a wrapped
+	// ctx.Err() within one module's work.
 	Classify classify.Options
 	// N overrides the eventual threshold (uniform across coordinates).
 	// Must satisfy f(x) = min_k g_k(x) for all x ≥ (N,...,N); the value
 	// from classification always does. 0 means "use the classifier's".
 	N int64
+	// Progress, when non-nil, receives a "synth.modules" event per
+	// restriction module built at the top recursion level (Done = modules
+	// built, Total = d·n modules). Never changes the construction.
+	Progress progress.Reporter
+}
+
+// ctxErr polls the construction's context (carried on Classify.Ctx).
+func (o *GeneralOptions) ctxErr() error {
+	if o.Classify.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Classify.Ctx.Done():
+		return fmt.Errorf("synth: construction canceled: %w", o.Classify.Ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // NotComputableError reports that f fails Theorem 5.2 and carries the
@@ -148,15 +170,28 @@ func build(f *semilinear.Func, res *classify.Result, opts GeneralOptions) (*crn.
 	type consumer struct{ sp crn.Species }
 	inputConsumers := make([][]consumer, d) // per original input
 
+	modTotal := int64(d) * n
+	var modDone int64
 	for i := 0; i < d; i++ {
 		for j := int64(0); j < n; j++ {
+			// Each restriction module is one bounded unit of recursive
+			// work — the construction's deterministic cancellation point.
+			if err := opts.ctxErr(); err != nil {
+				return nil, err
+			}
 			label := fmt.Sprintf("r%d_%d", i+1, j)
 			// Recursive module for the restriction (arity d−1).
 			rf := f.Restrict(i, j)
-			sub, _, err := General(rf, opts)
+			// Progress is reported only at this recursion level; the
+			// recursive calls run with the bare options.
+			subOpts := opts
+			subOpts.Progress = nil
+			sub, _, err := General(rf, subOpts)
 			if err != nil {
 				return nil, fmt.Errorf("synth: restriction x(%d)→%d of %s: %w", i+1, j, f.Name, err)
 			}
+			modDone++
+			progress.Post(opts.Progress, "synth.modules", modDone, modTotal)
 			// Its inputs: copies of every original input except i.
 			rIns := make([]crn.Species, 0, d-1)
 			for k := 0; k < d; k++ {
