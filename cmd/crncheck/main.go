@@ -10,7 +10,12 @@
 // workers die, and merges the results into the exact GridResult a local
 // run would print. -join turns the process into a worker: it fetches the
 // job from the coordinator, checks leased rectangles on the local
-// steal-pool engine, and reports results until the job is done.
+// steal-pool engine, and reports results until the job is done. A worker
+// rides out coordinator outages (crashes, checkpoint restarts) for
+// -join-grace before exiting 2 with a coordinator-lost error; a 4xx from
+// the join endpoint fails immediately instead of retrying. With
+// -abort-on-lease-loss a fenced-out worker cancels its in-flight
+// rectangle rather than finishing work it no longer owns.
 //
 // -workers sizes one shared work-stealing pool spanning both parallelism
 // levels: workers check independent grid inputs while any remain, then
@@ -38,6 +43,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -57,6 +63,13 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crncheck:", err)
+		if errors.Is(err, dist.ErrCoordinatorLost) {
+			// Distinct exit code: the worker gave up after -join-grace, but
+			// the job itself may still complete under other workers once the
+			// coordinator returns — "lost my coordinator" is operationally
+			// different from "the check failed".
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -76,6 +89,8 @@ func run(args []string, out io.Writer) error {
 
 		coordAddr  = fs.String("coordinator", "", "run as distributed coordinator listening on this host:port; workers join with -join")
 		joinAddr   = fs.String("join", "", "run as distributed worker against the coordinator at this host:port")
+		joinGrace  = fs.Duration("join-grace", 15*time.Second, "worker: keep retrying an unreachable coordinator this long (surviving restarts) before exiting with a coordinator-lost error")
+		abortLease = fs.Bool("abort-on-lease-loss", false, "worker: cancel the in-flight rectangle when the coordinator reports the lease lost (fenced out) instead of finishing and posting a duplicate")
 		shards     = fs.Int("shards", 0, "coordinator: number of grid rectangles to lease out (0 = 16; more shards than workers keeps the tail balanced)")
 		lease      = fs.Duration("lease", dist.DefaultLeaseTTL, "coordinator: lease TTL before a silent worker's rectangle is reassigned")
 		checkpoint = fs.String("checkpoint", "", "coordinator: checkpoint file; completed rectangles are saved after each result and resumed on restart")
@@ -94,7 +109,7 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 	if *joinAddr != "" {
-		return runWorker(ctx, *joinAddr, *workers)
+		return runWorker(ctx, *joinAddr, *workers, *joinGrace, *abortLease)
 	}
 	if *crnPath == "" || *fname == "" {
 		return fmt.Errorf("need both -crn and -f (or -join addr)")
@@ -194,10 +209,12 @@ func stderrProgress() progress.Reporter {
 // canceled (a canceled worker abandons its lease without reporting). The
 // function library is resolved locally (core.Library), so worker and
 // coordinator binaries must agree on it.
-func runWorker(ctx context.Context, addr string, workers int) error {
+func runWorker(ctx context.Context, addr string, workers int, grace time.Duration, abortOnLeaseLoss bool) error {
 	w := &dist.Worker{
-		Coordinator: addr,
-		Workers:     workers,
+		Coordinator:      addr,
+		Workers:          workers,
+		Grace:            grace,
+		AbortOnLeaseLoss: abortOnLeaseLoss,
 		Resolve: func(name string) (reach.Func, error) {
 			f, ok := core.Library()[name]
 			if !ok {

@@ -39,7 +39,19 @@
 //     concurrently under an admission budget on the local steal pool or
 //     handed to an internal/dist coordinator, cancellable via DELETE, and
 //     drained gracefully on SIGTERM; /v1/check bodies are byte-identical
-//     to crncheck -json;
+//     to crncheck -json; a dist handoff that cannot start or stalls past
+//     a grace window degrades to local execution — same bytes, marked
+//     "degraded" in the job status;
+//   - internal/httpx: the one retrying HTTP client every cross-process
+//     call in dist and serve goes through — full-jitter exponential
+//     backoff, per-attempt timeouts, a wall-clock retry budget, and the
+//     4xx/5xx retryability split (server errors and transport failures
+//     retry; rejections fail fast);
+//   - internal/faultnet: deterministic seeded fault injection for chaos
+//     tests — RoundTripper and Listener wrappers that refuse, time out,
+//     inject 5xx, slow, or drop-after-commit requests on a pure
+//     function of (seed, request index), so every failure schedule is
+//     reproducible from its seed;
 //   - internal/progress: the progress.Reporter seam every long-running
 //     engine reports through (checked grid inputs, explored levels,
 //     simulation steps, synthesized modules) — the hook CLI progress

@@ -48,7 +48,7 @@ func runDistributed(t *testing.T, c *crn.CRN, lo, hi []int64, shards, workers in
 			Logf:        t.Logf,
 		}
 		if i == 0 && killFirstLease {
-			w.testLeased = func(Rect) error { return killed }
+			w.LeaseHook = func(Rect) error { return killed }
 		}
 		wg.Add(1)
 		go func() {

@@ -37,6 +37,27 @@
 // Workers resolve the function name themselves (the coordinator never ships
 // code), so coordinator and workers must agree on the function library —
 // cmd/crncheck wires both sides to core.Library.
+//
+// # Fault model
+//
+// Every worker→coordinator request may be refused, time out, answer 5xx,
+// stall, or be dropped after the coordinator committed its effect — the
+// failure modes internal/faultnet injects deterministically in the chaos
+// suite. The worker rides them out through internal/httpx retry budgets:
+//
+//   - transport errors, 5xx, and truncated bodies retry with full-jitter
+//     exponential backoff; a 4xx is the coordinator rejecting the request
+//     itself and fails fast (a misaddressed -join must not spin for the
+//     whole JoinTimeout);
+//   - a coordinator that stays unreachable after a successful join is
+//     tolerated for Worker.Grace — long enough to span a checkpoint
+//     restart — then surfaces as ErrCoordinatorLost, never a silent nil;
+//   - every mutating endpoint is idempotent (duplicate lease, renew, and
+//     result requests converge), so a response dropped after commit is
+//     repaired by the retry, not double-applied;
+//   - a renew answering OK=false means the lease was reassigned; with
+//     Worker.AbortOnLeaseLoss the fenced-out worker cancels the in-flight
+//     rectangle instead of finishing work it no longer owns.
 package dist
 
 import "encoding/json"

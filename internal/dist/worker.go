@@ -1,11 +1,10 @@
 package dist
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -13,15 +12,28 @@ import (
 	"time"
 
 	"crncompose/internal/crn"
+	"crncompose/internal/httpx"
 	"crncompose/internal/parse"
 	"crncompose/internal/reach"
 )
+
+// ErrCoordinatorLost is returned by Worker.Run when a coordinator that the
+// worker successfully joined stays unreachable past the worker's Grace
+// window. It is distinct from a clean finish (nil, the coordinator answered
+// Done) so callers like crncheck -join can exit non-zero and report which
+// case happened. Test with errors.Is.
+var ErrCoordinatorLost = errors.New("dist: coordinator lost")
 
 // Worker joins a coordinator, leases rectangles, checks each one on the
 // local steal-pool engine (reach.CheckRect — the exact engine a local
 // CheckGrid uses), and reports results. Any number of workers may join and
 // leave at any time; a worker that dies mid-rectangle just lets its lease
 // expire.
+//
+// All coordinator traffic goes through httpx: transient failures (transport
+// errors, 5xx, dropped responses) are retried with jittered exponential
+// backoff, while HTTP-status rejections (4xx — wrong endpoint, protocol
+// mismatch) fail fast.
 type Worker struct {
 	// Coordinator is the coordinator's base URL (host:port or http://...).
 	Coordinator string
@@ -33,9 +45,9 @@ type Worker struct {
 	// Resolve maps the job's function name to an evaluator. Required: the
 	// coordinator ships only the name, never code.
 	Resolve func(name string) (reach.Func, error)
-	// Poll is the retry interval for failed coordinator requests, and the
-	// fallback sleep after a lease poll that came back empty without being
-	// parked (default 50ms).
+	// Poll is the base backoff delay for failed coordinator requests, and
+	// the fallback sleep after a lease poll that came back empty without
+	// being parked (default 50ms).
 	Poll time.Duration
 	// LongPoll is the lease long-poll window: /lease requests ask the
 	// coordinator to park them up to this long when no rectangle is free
@@ -48,15 +60,27 @@ type Worker struct {
 	// worker started slightly before its coordinator still joins
 	// (default 15s).
 	JoinTimeout time.Duration
+	// Grace bounds how long a joined worker keeps retrying an unreachable
+	// coordinator — across lease polls and result posts — before giving up
+	// with ErrCoordinatorLost (default 15s). Long enough to ride out a
+	// coordinator checkpoint-restart.
+	Grace time.Duration
+	// AbortOnLeaseLoss makes the worker cancel the in-flight rectangle
+	// check when a heartbeat renewal answers that the lease is gone, so a
+	// fenced-out worker stops burning CPU on a rectangle another worker now
+	// owns. Off by default: computing to completion and reporting a
+	// duplicate is harmless (the coordinator is idempotent) and finishes
+	// faster when the loss was a coordinator restart rather than a fence.
+	AbortOnLeaseLoss bool
 	// Client, when non-nil, overrides the HTTP client.
 	Client *http.Client
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
-	// testLeased, when non-nil, runs right after a lease is granted; a
-	// non-nil error kills the worker mid-rectangle without reporting —
-	// how tests simulate a crashed worker.
-	testLeased func(Rect) error
+	// LeaseHook, when non-nil, runs right after a lease is granted; a
+	// non-nil error kills the worker mid-rectangle without reporting — how
+	// tests (dist's and serve's) simulate a crashed worker.
+	LeaseHook func(Rect) error
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -67,8 +91,8 @@ func (w *Worker) logf(format string, args ...any) {
 
 // Run joins the coordinator and processes rectangles until the job is done
 // (returns nil), ctx is canceled, or the job cannot be joined or understood.
-// A coordinator that disappears after a successful join also ends the run
-// with nil: the job is over as far as this worker can tell.
+// A coordinator that stays unreachable past Grace after a successful join
+// ends the run with an error wrapping ErrCoordinatorLost.
 func (w *Worker) Run(ctx context.Context) error {
 	client := w.Client
 	if client == nil {
@@ -93,28 +117,37 @@ func (w *Worker) Run(ctx context.Context) error {
 	if joinTimeout <= 0 {
 		joinTimeout = 15 * time.Second
 	}
+	grace := w.Grace
+	if grace <= 0 {
+		grace = 15 * time.Second
+	}
 	name := w.Name
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
-	// Join: fetch the job, retrying so worker/coordinator start order does
-	// not matter.
+	// Join: fetch the job, retrying transient failures for up to JoinTimeout
+	// so worker/coordinator start order does not matter. A 4xx answer is the
+	// coordinator (or whatever is listening there) rejecting the request
+	// itself — retrying cannot help, so httpx fails it on the first attempt.
+	joinC := &httpx.Client{
+		HTTP:        client,
+		MaxAttempts: -1,
+		Budget:      joinTimeout,
+		BaseDelay:   poll,
+		MaxDelay:    time.Second,
+	}
 	var job JobSpec
-	deadline := time.Now().Add(joinTimeout)
-	for {
-		err := getJSON(ctx, client, base+"/job", &job)
-		if err == nil {
-			break
-		}
+	if err := joinC.GetJSON(ctx, base+"/job", &job); err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("dist: joining %s: %w", base, err)
+		var se *httpx.StatusError
+		if errors.As(err, &se) && !httpx.Retryable(err) {
+			return fmt.Errorf("dist: joining %s: coordinator rejected the request (not retrying): %w", base, err)
 		}
-		sleepCtx(ctx, poll)
+		return fmt.Errorf("dist: joining %s: %w", base, err)
 	}
 	if job.Version != ProtocolVersion {
 		return fmt.Errorf("dist: coordinator speaks protocol %d, this worker %d", job.Version, ProtocolVersion)
@@ -134,26 +167,45 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	w.logf("worker %s: joined %s (%s on %d rects)", name, base, job.Func, job.Rects)
 
-	misses := 0
+	// Each /lease call retries transient failures briefly on its own; the
+	// loop below tracks how long the coordinator has been continuously
+	// unreachable and gives up with ErrCoordinatorLost only past Grace, so
+	// a coordinator checkpoint-restart shorter than Grace is survived.
+	leaseC := &httpx.Client{
+		HTTP:        client,
+		MaxAttempts: 3,
+		BaseDelay:   poll,
+		MaxDelay:    time.Second,
+	}
+	var downSince time.Time
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		polledAt := time.Now()
 		var lr LeaseResponse
-		if err := postJSON(ctx, client, base+"/lease", LeaseRequest{Worker: name, WaitMillis: longPoll.Milliseconds()}, &lr); err != nil {
+		if err := leaseC.PostJSON(ctx, base+"/lease", LeaseRequest{Worker: name, WaitMillis: longPoll.Milliseconds()}, &lr); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			misses++
-			if misses > 3 {
-				w.logf("worker %s: coordinator gone (%v); exiting", name, err)
-				return nil
+			var se *httpx.StatusError
+			if errors.As(err, &se) && !httpx.Retryable(err) {
+				return fmt.Errorf("dist: leasing from %s: %w", base, err)
+			}
+			if downSince.IsZero() {
+				downSince = polledAt
+				w.logf("worker %s: coordinator unreachable (%v); retrying for up to %s", name, err, grace)
+			}
+			if time.Since(downSince) >= grace {
+				return fmt.Errorf("dist: worker %s: coordinator %s unreachable for %s (last error: %v): %w", name, base, grace, err, ErrCoordinatorLost)
 			}
 			sleepCtx(ctx, poll)
 			continue
 		}
-		misses = 0
+		if !downSince.IsZero() {
+			w.logf("worker %s: coordinator reachable again after %s", name, time.Since(downSince).Round(time.Millisecond))
+			downSince = time.Time{}
+		}
 		switch {
 		case lr.Done:
 			w.logf("worker %s: job done", name)
@@ -170,28 +222,46 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		rect := *lr.Rect
-		if w.testLeased != nil {
-			if err := w.testLeased(rect); err != nil {
+		if w.LeaseHook != nil {
+			if err := w.LeaseHook(rect); err != nil {
 				return err
 			}
 		}
-		if err := w.checkRect(ctx, client, base, name, c, f, rect, lr, opts); err != nil {
+		if err := w.checkRect(ctx, client, base, name, grace, c, f, rect, lr, opts); err != nil {
 			return err
 		}
 	}
 }
 
 // checkRect runs one leased rectangle with a heartbeat renewing the lease,
-// then reports the result. A result that cannot be delivered is dropped:
-// the lease expires and the rectangle is recomputed elsewhere.
-func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name string, c *crn.CRN, f reach.Func, rect Rect, lr LeaseResponse, opts []reach.Option) error {
+// then reports the result. A result that cannot be delivered within Grace is
+// dropped: the lease expires and the rectangle is recomputed elsewhere.
+func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name string, grace time.Duration, c *crn.CRN, f reach.Func, rect Rect, lr LeaseResponse, opts []reach.Option) error {
 	ttl := time.Duration(lr.TTLMillis) * time.Millisecond
+	// rctx is what the engine runs under; with AbortOnLeaseLoss the
+	// heartbeat cancels it when the coordinator says the lease is gone.
+	rctx, rcancel := ctx, context.CancelFunc(func() {})
+	if w.AbortOnLeaseLoss {
+		rctx, rcancel = context.WithCancel(ctx)
+	}
+	defer rcancel()
 	stop := make(chan struct{})
 	var hb sync.WaitGroup
 	if ttl > 0 {
 		hb.Add(1)
 		go func() {
 			defer hb.Done()
+			renewC := &httpx.Client{
+				HTTP:        client,
+				MaxAttempts: 2,
+				BaseDelay:   w.pollInterval(),
+				MaxDelay:    max(ttl/3, time.Millisecond),
+			}
+			// Renew failures are expected during a coordinator restart, so
+			// they must not kill the worker — but they must not be silent
+			// either. Log the 1st, 2nd, 4th, 8th... consecutive failure so a
+			// flapping coordinator produces a bounded, visible trail.
+			failures, nextLog := 0, 1
 			t := time.NewTicker(max(ttl/3, time.Millisecond))
 			defer t.Stop()
 			for {
@@ -202,15 +272,34 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 					return
 				case <-t.C:
 					var rr RenewResponse
-					if err := postJSON(ctx, client, base+"/renew", RenewRequest{Worker: name, RectID: rect.ID}, &rr); err == nil && !rr.OK {
+					err := renewC.PostJSON(ctx, base+"/renew", RenewRequest{Worker: name, RectID: rect.ID}, &rr)
+					switch {
+					case err != nil:
+						failures++
+						if failures == nextLog {
+							w.logf("worker %s: renewing lease on rect %d failing (%d consecutive): %v", name, rect.ID, failures, err)
+							nextLog *= 2
+						}
+					case !rr.OK:
+						if w.AbortOnLeaseLoss {
+							w.logf("worker %s: lost lease on rect %d; aborting in-flight check", name, rect.ID)
+							rcancel()
+							return
+						}
 						w.logf("worker %s: lost lease on rect %d (still computing; duplicate result is harmless)", name, rect.ID)
+						failures, nextLog = 0, 1
+					default:
+						if failures > 0 {
+							w.logf("worker %s: lease renewal on rect %d recovered after %d failures", name, rect.ID, failures)
+						}
+						failures, nextLog = 0, 1
 					}
 				}
 			}
 		}()
 	}
 	w.logf("worker %s: checking rect %d %v..%v", name, rect.ID, rect.Lo, rect.Hi)
-	res, rerr := reach.CheckRectCtx(ctx, c, f, rect.Lo, rect.Hi, opts...)
+	res, rerr := reach.CheckRectCtx(rctx, c, f, rect.Lo, rect.Hi, opts...)
 	close(stop)
 	hb.Wait()
 
@@ -219,6 +308,12 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 	// simply expires so the coordinator reassigns the rectangle elsewhere.
 	if ctx.Err() != nil {
 		return ctx.Err()
+	}
+	if rctx.Err() != nil {
+		// Fenced out with AbortOnLeaseLoss: the rectangle belongs to another
+		// worker now, so abandon it and go lease the next one.
+		w.logf("worker %s: abandoned rect %d after lease loss", name, rect.ID)
+		return nil
 	}
 
 	req := ResultRequest{Worker: name, RectID: rect.ID}
@@ -230,18 +325,24 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 	if rerr != nil {
 		req.Err = rerr.Error()
 	}
+	// The coordinator accepts duplicate and stale reports idempotently, so
+	// the post may be retried freely — including after a dropped-response
+	// fault where the coordinator committed the result but the worker never
+	// saw the ack.
+	resultC := &httpx.Client{
+		HTTP:        client,
+		MaxAttempts: -1,
+		Budget:      grace,
+		BaseDelay:   w.pollInterval(),
+		MaxDelay:    time.Second,
+	}
 	var ack ResultResponse
-	var perr error
-	for attempt := 0; attempt < 5; attempt++ {
-		if perr = postJSON(ctx, client, base+"/result", req, &ack); perr == nil {
-			return nil
-		}
+	if err := resultC.PostJSON(ctx, base+"/result", req, &ack); err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		sleepCtx(ctx, w.pollInterval())
+		w.logf("worker %s: dropping result for rect %d (%v); lease will expire", name, rect.ID, err)
 	}
-	w.logf("worker %s: dropping result for rect %d (%v); lease will expire", name, rect.ID, perr)
 	return nil
 }
 
@@ -260,40 +361,4 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	case <-ctx.Done():
 	case <-t.C:
 	}
-}
-
-// getJSON fetches url and decodes the JSON response into out.
-func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	return doJSON(client, req, out)
-}
-
-// postJSON posts in as JSON to url and decodes the JSON response into out.
-func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return doJSON(client, req, out)
-}
-
-func doJSON(client *http.Client, req *http.Request, out any) error {
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crncompose/internal/reach"
+)
+
+// fakeCoordinator is a scriptable coordinator endpoint for worker-side
+// failure tests — the real Coordinator cannot be told to misbehave.
+type fakeCoordinator struct {
+	t        *testing.T
+	job      JobSpec
+	onLease  func(n int64) LeaseResponse
+	onRenew  func() RenewResponse
+	jobHits  atomic.Int64
+	leases   atomic.Int64
+	results  atomic.Int64
+	jobErr   func(n int64) int // non-zero = respond with this status instead
+	abortAll bool              // abort every /lease at the transport level
+}
+
+func (fc *fakeCoordinator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/job", func(w http.ResponseWriter, r *http.Request) {
+		n := fc.jobHits.Add(1)
+		if fc.jobErr != nil {
+			if code := fc.jobErr(n); code != 0 {
+				http.Error(w, "scripted failure", code)
+				return
+			}
+		}
+		fakeWrite(fc.t, w, fc.job)
+	})
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		n := fc.leases.Add(1)
+		if fc.abortAll {
+			panic(http.ErrAbortHandler) // client sees a transport error
+		}
+		fakeWrite(fc.t, w, fc.onLease(n))
+	})
+	mux.HandleFunc("/renew", func(w http.ResponseWriter, r *http.Request) {
+		fakeWrite(fc.t, w, fc.onRenew())
+	})
+	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
+		fc.results.Add(1)
+		fakeWrite(fc.t, w, ResultResponse{OK: true})
+	})
+	return mux
+}
+
+func fakeWrite(t *testing.T, w http.ResponseWriter, v any) {
+	t.Helper()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		t.Errorf("encoding response: %v", err)
+	}
+}
+
+func testJob() JobSpec {
+	return JobSpec{
+		Version:    ProtocolVersion,
+		CRN:        minCRN().String(),
+		Func:       "min",
+		Lo:         []int64{0, 0},
+		Hi:         []int64{3, 3},
+		MaxConfigs: 1 << 20,
+		MaxCount:   1 << 40,
+		Rects:      1,
+	}
+}
+
+// TestWorkerJoin4xxFailsFast: a 4xx on /job is the listener rejecting the
+// request itself (wrong endpoint, future protocol served as an error) — the
+// worker must fail on the first attempt, not retry for the full JoinTimeout.
+func TestWorkerJoin4xxFailsFast(t *testing.T) {
+	fc := &fakeCoordinator{t: t, jobErr: func(int64) int { return http.StatusNotFound }}
+	ts := httptest.NewServer(fc.handler())
+	defer ts.Close()
+
+	w := &Worker{
+		Coordinator: ts.URL,
+		Resolve:     testResolver,
+		Poll:        5 * time.Millisecond,
+		JoinTimeout: 30 * time.Second, // must NOT be waited out
+		Logf:        t.Logf,
+	}
+	start := time.Now()
+	err := w.Run(context.Background())
+	if err == nil {
+		t.Fatal("join against a 404 endpoint succeeded")
+	}
+	if errors.Is(err, ErrCoordinatorLost) {
+		t.Fatalf("4xx join misclassified as coordinator loss: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("4xx join retried for %s instead of failing fast", elapsed)
+	}
+	if hits := fc.jobHits.Load(); hits != 1 {
+		t.Fatalf("4xx join attempted %d times, want 1", hits)
+	}
+}
+
+// TestWorkerJoinRetriesTransient: 5xx answers during startup races are
+// transient — the worker keeps retrying inside JoinTimeout and joins once
+// the coordinator recovers.
+func TestWorkerJoinRetriesTransient(t *testing.T) {
+	fc := &fakeCoordinator{
+		t:   t,
+		job: testJob(),
+		jobErr: func(n int64) int {
+			if n <= 2 {
+				return http.StatusServiceUnavailable
+			}
+			return 0
+		},
+		onLease: func(int64) LeaseResponse { return LeaseResponse{Done: true} },
+	}
+	ts := httptest.NewServer(fc.handler())
+	defer ts.Close()
+
+	w := &Worker{
+		Coordinator: ts.URL,
+		Resolve:     testResolver,
+		Poll:        time.Millisecond,
+		JoinTimeout: 30 * time.Second,
+		LongPoll:    -1,
+		Logf:        t.Logf,
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("worker did not ride out transient join failures: %v", err)
+	}
+	if hits := fc.jobHits.Load(); hits != 3 {
+		t.Fatalf("join took %d attempts, want 3", hits)
+	}
+}
+
+// TestWorkerCoordinatorLost: a coordinator that vanishes after a successful
+// join must surface as ErrCoordinatorLost once Grace elapses — not as the
+// silent nil that used to make `crncheck -join` exit 0 on a dead job.
+func TestWorkerCoordinatorLost(t *testing.T) {
+	fc := &fakeCoordinator{t: t, job: testJob(), abortAll: true}
+	ts := httptest.NewServer(fc.handler())
+	defer ts.Close()
+
+	const grace = 250 * time.Millisecond
+	w := &Worker{
+		Coordinator: ts.URL,
+		Resolve:     testResolver,
+		Poll:        5 * time.Millisecond,
+		LongPoll:    -1,
+		Grace:       grace,
+		Logf:        t.Logf,
+	}
+	start := time.Now()
+	err := w.Run(context.Background())
+	if !errors.Is(err, ErrCoordinatorLost) {
+		t.Fatalf("err = %v, want ErrCoordinatorLost", err)
+	}
+	if elapsed := time.Since(start); elapsed < grace {
+		t.Fatalf("gave up after %s, before the %s grace window", elapsed, grace)
+	}
+}
+
+// TestWorkerAbortOnLeaseLoss: with AbortOnLeaseLoss set, a renew answering
+// OK=false cancels the in-flight rectangle — the fenced-out worker neither
+// finishes the enumeration nor posts a result for a rectangle it no longer
+// owns.
+func TestWorkerAbortOnLeaseLoss(t *testing.T) {
+	var evals atomic.Int64
+	slowMin := func(x []int64) int64 {
+		evals.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return min(x[0], x[1])
+	}
+	fc := &fakeCoordinator{
+		t:   t,
+		job: testJob(),
+		onLease: func(n int64) LeaseResponse {
+			if n == 1 {
+				// 256 grid points = 4 engine chunks of 64: the engine polls
+				// cancellation at chunk boundaries, so the abort can land
+				// after chunk 1 instead of after the whole rectangle.
+				return LeaseResponse{
+					Rect:      &Rect{ID: 0, Lo: []int64{0, 0}, Hi: []int64{15, 15}},
+					TTLMillis: 30,
+				}
+			}
+			return LeaseResponse{Done: true}
+		},
+		onRenew: func() RenewResponse { return RenewResponse{OK: false} },
+	}
+	ts := httptest.NewServer(fc.handler())
+	defer ts.Close()
+
+	w := &Worker{
+		Coordinator: ts.URL,
+		Workers:     1,
+		Resolve: func(name string) (reach.Func, error) {
+			if name != "min" {
+				return nil, fmt.Errorf("unknown function %q", name)
+			}
+			return slowMin, nil
+		},
+		Poll:             2 * time.Millisecond,
+		LongPoll:         -1,
+		AbortOnLeaseLoss: true,
+		Logf:             t.Logf,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("aborted worker must keep serving, got %v", err)
+	}
+	// Chunk 1 alone takes 64 × ≥5ms ≫ the ~10ms heartbeat that learns of
+	// the loss, so the cancellation check before chunk 2 must stop the
+	// enumeration; a full 256-point run means the abort never happened.
+	if n := evals.Load(); n >= 256 {
+		t.Fatalf("worker evaluated all %d grid points despite lease loss", n)
+	}
+	if n := fc.results.Load(); n != 0 {
+		t.Fatalf("fenced-out worker posted %d results, want 0", n)
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"crncompose/internal/core"
+	"crncompose/internal/dist"
+	"crncompose/internal/reach"
+	"crncompose/internal/vec"
+)
+
+// Graceful-degradation coverage: a dist handoff that cannot start or makes
+// no progress falls back to local execution with a degraded status marker,
+// and the finished body stays byte-identical to the synchronous path either
+// way — degradation is an availability feature, never a correctness one.
+
+// TestJobDegradeAtSubmit: the coordinator address is already taken, so the
+// handoff cannot even start — the job must complete locally, marked
+// degraded, with the exact crncheck -json bytes.
+func TestJobDegradeAtSubmit(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, ts := newTestServer(t, Config{
+		Shards:          4,
+		DistCoordinator: ln.Addr().String(), // occupied: Start must fail
+	})
+	hi := int64(3)
+	js := submitJob(t, ts.URL, hi)
+	final := awaitJob(t, ts.URL, js.ID)
+	if final.State != jobDone || !final.Degraded || final.DegradedReason == "" {
+		t.Fatalf("degraded-at-submit job: %+v", final)
+	}
+	if final.Rects != 4 || final.RectsDone != 4 {
+		t.Fatalf("local fallback progress: %+v", final)
+	}
+	_, result := get(t, ts.URL+"/v1/jobs/"+js.ID+"/result")
+	if want := wantCheckBody(t, minCRNText, minEval, hi); !bytes.Equal(result, want) {
+		t.Fatalf("degraded result differs from crncheck -json:\n%s\nwant:\n%s", result, want)
+	}
+}
+
+// TestJobDegradeMidJob: the coordinator starts but no worker ever joins, so
+// no rectangle completes within CoordinatorGrace — the watchdog abandons the
+// handoff and the job completes locally, degraded, byte-identical.
+func TestJobDegradeMidJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Shards:           3,
+		DistCoordinator:  freeAddr(t),
+		CoordinatorGrace: 500 * time.Millisecond,
+	})
+	hi := int64(3)
+	js := submitJob(t, ts.URL, hi)
+	final := awaitJob(t, ts.URL, js.ID)
+	if final.State != jobDone || !final.Degraded {
+		t.Fatalf("degraded-mid-job job: %+v", final)
+	}
+	_, result := get(t, ts.URL+"/v1/jobs/"+js.ID+"/result")
+	if want := wantCheckBody(t, minCRNText, minEval, hi); !bytes.Equal(result, want) {
+		t.Fatalf("degraded result differs from crncheck -json:\n%s\nwant:\n%s", result, want)
+	}
+}
+
+// TestJobDistWorkerKilledMidRect: during a real dist handoff one of two
+// workers dies right after its first lease (without reporting). The lease
+// expires, the rectangle is reassigned to the surviving worker, and the job
+// completes through the coordinator — NOT degraded — with the exact
+// synchronous bytes. This is internal/dist's kill schedule driven through
+// serve's /v1/jobs path.
+func TestJobDistWorkerKilledMidRect(t *testing.T) {
+	addr := freeAddr(t)
+	_, ts := newTestServer(t, Config{
+		Shards:          4,
+		DistCoordinator: addr,
+		LeaseTTL:        300 * time.Millisecond, // killed worker's rect reassigns quickly
+		// Default CoordinatorGrace (10s) stays ahead of the ~300ms
+		// reassignment stall, so the watchdog must not fire.
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	resolver := func(name string) (reach.Func, error) {
+		f, ok := core.Library()[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown function %q", name)
+		}
+		return func(x []int64) int64 { return f.Eval(vec.New(x...)) }, nil
+	}
+	killed := errors.New("worker killed mid-rectangle")
+	workerErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		w := &dist.Worker{
+			Coordinator: addr,
+			Name:        fmt.Sprintf("worker-%d", i),
+			Workers:     1,
+			Resolve:     resolver,
+			Poll:        10 * time.Millisecond,
+			LongPoll:    200 * time.Millisecond,
+			JoinTimeout: 30 * time.Second,
+			Logf:        t.Logf,
+		}
+		if i == 0 {
+			w.LeaseHook = func(dist.Rect) error { return killed }
+		}
+		go func() { workerErrs <- w.Run(ctx) }()
+	}
+
+	hi := int64(3)
+	js := submitJob(t, ts.URL, hi)
+	final := awaitJob(t, ts.URL, js.ID)
+	if final.State != jobDone || final.Rects != 4 || final.RectsDone != 4 {
+		t.Fatalf("dist job under worker kill: %+v", final)
+	}
+	if final.Degraded {
+		t.Fatalf("job degraded despite a surviving worker: %+v", final)
+	}
+	_, result := get(t, ts.URL+"/v1/jobs/"+js.ID+"/result")
+	if want := wantCheckBody(t, minCRNText, minEval, hi); !bytes.Equal(result, want) {
+		t.Fatalf("kill-schedule result differs from crncheck -json:\n%s\nwant:\n%s", result, want)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerErrs:
+			if err != nil && !errors.Is(err, killed) && ctx.Err() == nil {
+				t.Fatalf("worker: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("worker did not finish")
+		}
+	}
+}

@@ -55,12 +55,17 @@ func terminalState(state string) bool {
 
 // JobStatus is the status document of GET /v1/jobs/{id} (and the 202 body
 // of submissions). Progress is counted in completed grid rectangles.
+// Degraded is set when a dist handoff fell back to local execution
+// (DegradedReason says why); the result body is byte-identical either way,
+// so degradation is an operational signal, not a correctness one.
 type JobStatus struct {
-	ID        string `json:"id"`
-	State     string `json:"state"`
-	Rects     int    `json:"rects"`
-	RectsDone int    `json:"rects_done"`
-	Error     string `json:"error,omitempty"`
+	ID             string `json:"id"`
+	State          string `json:"state"`
+	Rects          int    `json:"rects"`
+	RectsDone      int    `json:"rects_done"`
+	Error          string `json:"error,omitempty"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // asyncJob is one grid job. Mutable fields are guarded by the owning
@@ -74,12 +79,14 @@ type asyncJob struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	state      string
-	rects      int
-	rectsDone  int
-	body       []byte    // finished /v1/check body (state == jobDone)
-	errMsg     string    // state == jobFailed or jobCanceled
-	finishedAt time.Time // when the job reached a terminal state (for GC)
+	state          string
+	rects          int
+	rectsDone      int
+	body           []byte    // finished /v1/check body (state == jobDone)
+	errMsg         string    // state == jobFailed or jobCanceled
+	degraded       bool      // dist handoff fell back to local execution
+	degradedReason string    // why (degraded only)
+	finishedAt     time.Time // when the job reached a terminal state (for GC)
 
 	done chan struct{}
 }
@@ -181,11 +188,13 @@ func (jb *asyncJob) statusDoc() JobStatus {
 	// jb.id and check are immutable; the rest is read under the table lock
 	// by the accessors below.
 	return JobStatus{
-		ID:        jb.id,
-		State:     jb.state,
-		Rects:     jb.rects,
-		RectsDone: jb.rectsDone,
-		Error:     jb.errMsg,
+		ID:             jb.id,
+		State:          jb.state,
+		Rects:          jb.rects,
+		RectsDone:      jb.rectsDone,
+		Error:          jb.errMsg,
+		Degraded:       jb.degraded,
+		DegradedReason: jb.degradedReason,
 	}
 }
 
@@ -332,8 +341,16 @@ func (s *Server) runJobLocal(jb *asyncJob) ([]byte, error) {
 // bytes either way. Waiting is bounded by the job's context: a DELETE
 // cancels the wait and shuts the coordinator down, letting workers see the
 // job disappear and exit.
+//
+// Two failure modes degrade to local execution instead of failing the job
+// (unless CoordinatorGrace is negative): the coordinator cannot start on
+// the configured address, or no rectangle completes for CoordinatorGrace —
+// the coordinator is up but its workers are dead, wedged, or never joined.
+// Either way the caller still gets the exact bytes a healthy handoff would
+// have produced, plus a degraded marker in the job status.
 func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 	cc := jb.check.cc
+	grace := s.cfg.CoordinatorGrace
 	co, err := dist.NewCoordinator(dist.CoordinatorConfig{
 		CRN:        jb.check.c,
 		Func:       cc.Func,
@@ -346,10 +363,15 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 		Logf:       s.cfg.Logf,
 	})
 	if err != nil {
+		// A coordinator the job spec itself cannot configure would fail the
+		// same way locally; nothing to degrade to.
 		return nil, err
 	}
 	if err := co.Start(s.cfg.DistCoordinator); err != nil {
-		return nil, fmt.Errorf("starting coordinator on %s: %w", s.cfg.DistCoordinator, err)
+		if grace < 0 {
+			return nil, fmt.Errorf("starting coordinator on %s: %w", s.cfg.DistCoordinator, err)
+		}
+		return s.degradeJob(jb, fmt.Sprintf("coordinator could not start on %s: %v", s.cfg.DistCoordinator, err))
 	}
 	defer func() {
 		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -362,15 +384,21 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 	jb.rects = total
 	s.jobs.mu.Unlock()
 
+	// The wait runs under its own cancel so the stall watchdog below can
+	// abandon the handoff without canceling the job itself.
+	wctx, wcancel := context.WithCancel(jb.ctx)
+	defer wcancel()
 	waitDone := make(chan struct{})
 	var res reach.GridResult
 	var werr error
 	go func() {
-		res, werr = co.Wait(jb.ctx)
+		res, werr = co.Wait(wctx)
 		close(waitDone)
 	}()
 	t := time.NewTicker(200 * time.Millisecond)
 	defer t.Stop()
+	lastDone := 0
+	lastChange := time.Now()
 	for {
 		select {
 		case <-waitDone:
@@ -385,11 +413,37 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 			return reach.MarshalGridResultIndent(res)
 		case <-t.C:
 			done, _ := co.Progress()
+			if done != lastDone {
+				lastDone = done
+				lastChange = time.Now()
+			}
 			s.jobs.mu.Lock()
 			jb.rectsDone = done
 			s.jobs.mu.Unlock()
+			if grace > 0 && time.Since(lastChange) >= grace && jb.ctx.Err() == nil {
+				wcancel()
+				sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				_ = co.Shutdown(sctx)
+				cancel()
+				return s.degradeJob(jb, fmt.Sprintf("no rectangle completed for %s (%d/%d done); workers presumed lost", grace, done, total))
+			}
 		}
 	}
+}
+
+// degradeJob falls back to local execution after a failed or stalled dist
+// handoff: progress restarts from zero (the split is recomputed, though it
+// is the same split), the job's status carries the degraded marker, and the
+// body comes out byte-identical by the determinism contract shared between
+// runJobLocal and the coordinator's merge.
+func (s *Server) degradeJob(jb *asyncJob, reason string) ([]byte, error) {
+	s.logf("job %.12s…: degrading to local execution: %s", jb.id, reason)
+	s.jobs.mu.Lock()
+	jb.degraded = true
+	jb.degradedReason = reason
+	jb.rectsDone = 0
+	s.jobs.mu.Unlock()
+	return s.runJobLocal(jb)
 }
 
 // handleJobSubmit serves POST /v1/jobs: the body is a CheckRequest; the

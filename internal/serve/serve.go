@@ -48,7 +48,11 @@
 // Config.DistCoordinator is set — by starting an internal/dist coordinator
 // on that address and letting external `crncheck -join` workers compute the
 // rectangles, which makes the distributed subsystem reachable from a single
-// user-facing API. DELETE /v1/jobs/{id} cancels a job; on SIGTERM the
+// user-facing API. A dist handoff that cannot start, or stalls past
+// Config.CoordinatorGrace with workers dead or absent, degrades gracefully:
+// the job falls back to local execution (same split, same deterministic
+// merge, byte-identical body) with a "degraded" marker in its status
+// instead of failing. DELETE /v1/jobs/{id} cancels a job; on SIGTERM the
 // server drains (Drain): admission closes, in-flight jobs finish (or are
 // canceled at the drain deadline), and the process exits cleanly.
 package serve
@@ -75,10 +79,11 @@ import (
 
 // Defaults for Config zero values.
 const (
-	DefaultCacheMax      = 1024
-	DefaultSyncGridLimit = 512
-	DefaultMaxJobs       = 2
-	DefaultJobTTL        = 15 * time.Minute
+	DefaultCacheMax         = 1024
+	DefaultSyncGridLimit    = 512
+	DefaultMaxJobs          = 2
+	DefaultJobTTL           = 15 * time.Minute
+	DefaultCoordinatorGrace = 10 * time.Second
 )
 
 const contentTypeJSON = "application/json"
@@ -117,6 +122,16 @@ type Config struct {
 	Shards int
 	// LeaseTTL is the dist coordinator's lease TTL (dist mode only).
 	LeaseTTL time.Duration
+	// CoordinatorGrace governs graceful degradation of the dist handoff: if
+	// the coordinator cannot start on DistCoordinator, or no rectangle
+	// completes for this long mid-job (workers dead or never joined), the
+	// job falls back to local rectangle-by-rectangle execution — same split,
+	// same deterministic merge, byte-identical body — and its status carries
+	// a degraded marker instead of failing. Must exceed the worst-case time
+	// a single rectangle takes under the configured shard count. 0 means
+	// DefaultCoordinatorGrace; negative disables degradation (a failed
+	// handoff fails the job).
+	CoordinatorGrace time.Duration
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -163,6 +178,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.JobTTL == 0 {
 		cfg.JobTTL = DefaultJobTTL
+	}
+	if cfg.CoordinatorGrace == 0 {
+		cfg.CoordinatorGrace = DefaultCoordinatorGrace
 	}
 	s := &Server{
 		cfg:   cfg,
