@@ -52,6 +52,16 @@
 //     inject 5xx, slow, or drop-after-commit requests on a pure
 //     function of (seed, request index), so every failure schedule is
 //     reproducible from its seed;
+//   - internal/lint: the repository's own static-analysis suite
+//     (cmd/crnlint), stdlib-only go/parser + go/types passes that
+//     machine-check the invariants behind the byte-identity guarantees:
+//     no wall clocks or package-global randomness in engine packages
+//     (determinism), no HTTP outside internal/httpx (httpx), no
+//     map-iteration order leaking into output (mapiter), and
+//     package-prefixed %w-wrapped errors at engine entry points
+//     (errwrap); findings are suppressible only by an inline
+//     //crnlint:ignore directive with a reason, and CI requires the
+//     tree to lint clean;
 //   - internal/progress: the progress.Reporter seam every long-running
 //     engine reports through (checked grid inputs, explored levels,
 //     simulation steps, synthesized modules) — the hook CLI progress

@@ -11,11 +11,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"time"
 
+	"crncompose/internal/httpx"
 	"crncompose/internal/serve"
 )
 
@@ -60,24 +59,16 @@ func main() {
 		sim.Summary.Converged, sim.Summary.Trials, sim.Summary.MinOutput, sim.Summary.MaxOutput)
 }
 
+// postRaw goes through internal/httpx like every other cross-process
+// call in this module — httpx.Raw keeps the body verbatim so the
+// byte-identity comparison below stays honest.
 func postRaw(url string, req any) ([]byte, string) {
-	b, err := json.Marshal(req)
+	var client httpx.Client
+	raw, err := client.PostRaw(context.Background(), url, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("%s: %s: %s", url, resp.Status, body)
-	}
-	return body, resp.Header.Get("X-Cache")
+	return raw.Body, raw.Header.Get("X-Cache")
 }
 
 func mustPost(url string, req, out any) {

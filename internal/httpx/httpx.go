@@ -130,6 +130,35 @@ func (c *Client) PostJSON(ctx context.Context, url string, in, out any) error {
 	return c.doJSON(ctx, http.MethodPost, url, body, out)
 }
 
+// Raw captures a response verbatim when passed as the out argument of
+// GetJSON/PostJSON (or via the GetRaw/PostRaw helpers): the exact body
+// bytes and the response headers, with no JSON decoding. It exists for
+// the byte-identity consumers — callers that diff a served body against
+// a locally computed one, or read cache markers like X-Cache — so that
+// they too go through the retry/fault model instead of a bare
+// *http.Client (the crnlint httpx analyzer enforces this).
+type Raw struct {
+	Body   []byte
+	Header http.Header
+}
+
+// GetRaw fetches url and returns the verbatim response, retrying under
+// the client's policy.
+func (c *Client) GetRaw(ctx context.Context, url string) (Raw, error) {
+	var r Raw
+	err := c.doJSON(ctx, http.MethodGet, url, nil, &r)
+	return r, err
+}
+
+// PostRaw posts in as JSON to url and returns the verbatim response,
+// retrying under the client's policy (the PostJSON idempotency caveat
+// applies).
+func (c *Client) PostRaw(ctx context.Context, url string, in any) (Raw, error) {
+	var r Raw
+	err := c.PostJSON(ctx, url, in, &r)
+	return r, err
+}
+
 // doJSON is the retry loop shared by GetJSON/PostJSON.
 func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, out any) error {
 	httpc := c.HTTP
@@ -211,6 +240,17 @@ func (c *Client) attempt(ctx context.Context, httpc *http.Client, method, url st
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if r, ok := out.(*Raw); ok {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			// Same classification as a garbled JSON body below: a 2xx whose
+			// body cannot be read is a transport failure; retryable.
+			return fmt.Errorf("reading %s %s response: %w", method, url, err)
+		}
+		r.Body = b
+		r.Header = resp.Header.Clone()
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

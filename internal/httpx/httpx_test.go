@@ -226,3 +226,49 @@ func TestBackoffFullJitter(t *testing.T) {
 		t.Fatalf("backoff(500) = %s", got)
 	}
 }
+
+// TestRawCapturesVerbatim: the Raw sink returns the exact body bytes and
+// headers — no JSON decoding — and still rides the retry loop (first
+// attempt 500, second succeeds).
+func TestRawCapturesVerbatim(t *testing.T) {
+	body := "{\n  \"pretty\": true\n}\n" // whitespace must survive untouched
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, "warming up", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Cache", "hit")
+		_, _ = w.Write([]byte(body))
+	}))
+	defer ts.Close()
+	c := &Client{Rand: noDelay}
+	raw, err := c.PostRaw(context.Background(), ts.URL, map[string]int{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw.Body) != body {
+		t.Fatalf("body %q, want %q", raw.Body, body)
+	}
+	if got := raw.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("X-Cache %q, want %q", got, "hit")
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("hits = %d, want 2 (one retried 500)", hits.Load())
+	}
+}
+
+// TestRawStatusError: a non-2xx still surfaces as a StatusError, not a
+// Raw capture.
+func TestRawStatusError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := &Client{Rand: noDelay}
+	_, err := c.GetRaw(context.Background(), ts.URL)
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 StatusError", err)
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// determinismAnalyzer forbids wall clocks and unseeded randomness in the
+// engine packages. Every engine verdict must be a pure function of its
+// inputs: reading time.Now (or any clock-derived value) or the
+// package-global math/rand generators would make replayed runs diverge,
+// breaking the byte-identity contract and the content-addressed cache.
+//
+// Methods on an injected seeded *rand.Rand stay legal — that is the
+// sanctioned randomness pattern (sim's Gillespie and randfunc both take
+// explicit seeds) — as do clock seams owned by the non-engine layers
+// (serve.jobs.now, dist.Coordinator.now), which this analyzer never sees
+// because serve and dist are outside the engine set.
+var determinismAnalyzer = &Analyzer{
+	Name:    "determinism",
+	Doc:     "engine packages must not read wall clocks or package-global randomness",
+	Applies: isEnginePackage,
+	Run:     runDeterminism,
+}
+
+// forbiddenTimeFuncs are the clock and timer entry points of package
+// time. Referencing any of them — calling or capturing as a value —
+// introduces wall-clock dependence.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// allowedRandFuncs are the constructors of math/rand and math/rand/v2:
+// building an explicitly seeded generator is the sanctioned pattern, and
+// everything package-global (rand.IntN, rand.Float64, rand.Shuffle, ...)
+// draws from a process-wide implicitly seeded source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true,
+	"NewSource": true, "NewZipf": true,
+}
+
+func runDeterminism(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(p.Info, id)
+			if fn == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					out = append(out, Finding{
+						Pos:      p.Fset.Position(id.Pos()),
+						Analyzer: "determinism",
+						Message:  fmt.Sprintf("time.%s in engine package %s: engine results must not depend on the wall clock (inject a clock seam from the caller, like dist.Coordinator.now)", fn.Name(), p.Types.Name()),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn.Name()] {
+					out = append(out, Finding{
+						Pos:      p.Fset.Position(id.Pos()),
+						Analyzer: "determinism",
+						Message:  fmt.Sprintf("package-global rand.%s in engine package %s: use methods on an explicitly seeded *rand.Rand instead", fn.Name(), p.Types.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

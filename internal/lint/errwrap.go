@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errwrapAnalyzer enforces the repo's error idiom at engine entry points:
+// errors constructed and returned by an exported function of an engine
+// package carry the package prefix ("reach: run canceled: %w" is the
+// shape PR 6 standardized on), and an error wrapped into a new message
+// uses %w — never %v/%s — so errors.Is/As keep working through the wrap
+// (callers match context.Canceled and sentinel errors through engine
+// boundaries).
+//
+// Scope is deliberately the directly-constructed case: a `return err`
+// that propagates an already-wrapped error is fine, and unexported
+// helpers may build unprefixed fragments for an exported caller to wrap.
+// Package-level exported error sentinels must carry the prefix too.
+var errwrapAnalyzer = &Analyzer{
+	Name:    "errwrap",
+	Doc:     "engine entry points must return %w-wrapped, package-prefixed errors",
+	Applies: isEnginePackage,
+	Run:     runErrwrap,
+}
+
+func runErrwrap(p *Package) []Finding {
+	var out []Finding
+	prefix := p.Types.Name() + ": "
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "errwrap",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	checkCall := func(call *ast.CallExpr, where string) {
+		switch {
+		case isStdFunc(p.Info, call, "errors", "New"):
+			if len(call.Args) != 1 {
+				return
+			}
+			if s, ok := lit(call.Args[0]); ok && !strings.HasPrefix(s, prefix) {
+				flag(call, "error %s lacks the %q prefix (%s)", where, prefix, s)
+			}
+		case isStdFunc(p.Info, call, "fmt", "Errorf"):
+			if len(call.Args) == 0 {
+				return
+			}
+			format, ok := lit(call.Args[0])
+			if !ok {
+				return
+			}
+			if !strings.HasPrefix(format, prefix) {
+				flag(call, "error %s lacks the %q prefix (%q)", where, prefix, format)
+			}
+			if !strings.Contains(format, "%w") && hasErrorArg(p.Info, call.Args[1:]) {
+				flag(call, "error %s formats a wrapped error without %%w (%q): errors.Is/As cannot see through it", where, format)
+			}
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				// Package-level exported sentinels: var ErrFoo = errors.New("...").
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if !name.IsExported() || i >= len(vs.Values) {
+							continue
+						}
+						if call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr); ok {
+							checkCall(call, fmt.Sprintf("sentinel %s", name.Name))
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil || !exportedEntryPoint(d) {
+					continue
+				}
+				where := fmt.Sprintf("returned by %s", d.Name.Name)
+				walkSkippingFuncLits(d.Body, func(n ast.Node) {
+					ret, ok := n.(*ast.ReturnStmt)
+					if !ok {
+						return
+					}
+					for _, res := range ret.Results {
+						if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+							checkCall(call, where)
+						}
+					}
+				})
+			}
+		}
+	}
+	return out
+}
+
+// exportedEntryPoint reports whether fd is callable from outside the
+// package: an exported function, or an exported method on an exported
+// receiver type.
+func exportedEntryPoint(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	id := rootIdentOfType(fd.Recv.List[0].Type)
+	return id != nil && id.IsExported()
+}
+
+// rootIdentOfType digs through pointers and generic instantiations to a
+// receiver type's name.
+func rootIdentOfType(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// walkSkippingFuncLits visits every node in body except the bodies of
+// nested function literals: a return inside a closure does not return
+// from the entry point.
+func walkSkippingFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// hasErrorArg reports whether any arg's static type implements error.
+func hasErrorArg(info *types.Info, args []ast.Expr) bool {
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, a := range args {
+		tv, ok := info.Types[a]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.Implements(tv.Type, errorType) {
+			return true
+		}
+	}
+	return false
+}

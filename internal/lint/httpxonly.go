@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// httpxAnalyzer forbids bypassing internal/httpx for cross-process HTTP.
+// httpx is the single place where retries, jittered backoff, retry
+// budgets, and the 4xx-fails-fast split live (PR 7); a direct http.Get or
+// (*http.Client).Do silently opts out of that fault model and breaks the
+// chaos suite's assumptions.
+//
+// Holding or constructing an *http.Client is fine — dist.Worker.Client is
+// the injection seam tests use to splice in faultnet transports — but the
+// only code allowed to *use* one (call Do/Get/Post/... on it) is
+// internal/httpx itself and internal/faultnet's fault-injection wrappers.
+// Test files are exempt (the loader never parses _test.go), since tests
+// legitimately talk to their own httptest servers directly.
+var httpxAnalyzer = &Analyzer{
+	Name: "httpx",
+	Doc:  "cross-process HTTP must go through internal/httpx",
+	Applies: func(path string) bool {
+		return !hasInternalSuffix(path, "httpx") && !hasInternalSuffix(path, "faultnet")
+	},
+	Run: runHTTPX,
+}
+
+// forbiddenHTTPFuncs are net/http's package-level request helpers; each
+// is sugar over http.DefaultClient.
+var forbiddenHTTPFuncs = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+// clientMethods are the request-issuing methods of *http.Client.
+var clientMethods = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func runHTTPX(p *Package) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "httpx",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				switch obj := p.Info.Uses[n].(type) {
+				case *types.Func:
+					if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil &&
+						obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && forbiddenHTTPFuncs[obj.Name()] {
+						flag(n, "http.%s uses http.DefaultClient and bypasses the retry/fault model: route the call through internal/httpx", obj.Name())
+					}
+				case *types.Var:
+					if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "DefaultClient" {
+						flag(n, "http.DefaultClient bypasses the retry/fault model: route the call through internal/httpx")
+					}
+				}
+			case *ast.SelectorExpr:
+				sel := p.Info.Selections[n]
+				if sel == nil || sel.Kind() != types.MethodVal {
+					return true
+				}
+				m, ok := sel.Obj().(*types.Func)
+				if !ok || m.Pkg() == nil || m.Pkg().Path() != "net/http" || !clientMethods[m.Name()] {
+					return true
+				}
+				if named := namedRecv(sel.Recv()); named != nil && named.Obj().Name() == "Client" {
+					flag(n, "(*http.Client).%s bypasses the retry/fault model: wrap the client in an httpx.Client and call it there", m.Name())
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// namedRecv unwraps pointers and aliases to the receiver's named type.
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the crnlint command: it resolves the enclosing module from dir
+// (or -C), runs the suite over the packages matching the ./...-style
+// pattern arguments (default: everything), prints findings, and returns
+// the process exit code — 0 clean, 1 findings, 2 usage or load failure.
+// cmd/crnlint is a thin wrapper; keeping the logic here lets tests drive
+// the real exit-code contract without spawning a process.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crnlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory inside the module to lint")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: crnlint [-C dir] [packages]\n\nAnalyzers:\n")
+		for _, a := range Analyzers {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nSuppress a finding with //crnlint:ignore <analyzer> <reason> on the offending line.\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "crnlint: %v\n", err)
+		return 2
+	}
+	findings, err := Run(root, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "crnlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		f.Pos.Filename = relToRoot(root, f.Pos.Filename)
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "crnlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// relToRoot renders filename relative to the module root for stable,
+// clickable output.
+func relToRoot(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
+}

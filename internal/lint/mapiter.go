@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mapiterAnalyzer flags map iteration whose order can leak into output.
+// Go randomizes map-range order per run, so a loop over a map that
+// appends to a slice, writes through a strings.Builder/bytes.Buffer, or
+// sends on a channel produces run-dependent results — unless the
+// collected result is provably sorted afterwards (the repo idiom: collect
+// keys, sort.Strings, iterate the sorted slice — see classify's strip
+// handling and core.LibraryNames).
+//
+// The analyzer needs go/types to be sound here: ranging over a slice is
+// always ordered (dist's `range co.states` loops iterate a []rectState
+// lease table and are fine), and only real map types are suspect. Loops
+// that merely aggregate order-insensitively (counting, summing, writing
+// into another map) are not flagged.
+var mapiterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc:  "map-iteration order must not leak into output in deterministic packages",
+	Applies: func(path string) bool {
+		return isEnginePackage(path) || hasInternalSuffix(path, "dist")
+	},
+	Run: runMapiter,
+}
+
+// sortCalls are the recognized "provably sorted afterwards" calls, by
+// package path and function name.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runMapiter(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if tv, ok := p.Info.Types[rs.X]; !ok || !isMap(tv.Type) {
+					return true
+				}
+				out = append(out, checkMapRange(p, fd, rs)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks.
+func checkMapRange(p *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "mapiter",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	outside := func(e ast.Expr) (types.Object, *ast.Ident) {
+		id := rootIdent(e)
+		if id == nil {
+			return nil, nil
+		}
+		obj := p.Info.ObjectOf(id)
+		if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()) {
+			return nil, nil
+		}
+		return obj, id
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			flag(n, "send on a channel inside a map-range loop: receive order depends on map iteration order")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				obj, id := outside(n.Lhs[i])
+				if obj == nil {
+					continue
+				}
+				if sortedAfter(p, fd, rs, obj) {
+					continue
+				}
+				flag(n, "append to %s inside a map-range loop: element order depends on map iteration order (sort %s afterwards, or iterate sorted keys)", id.Name, id.Name)
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := p.Info.Selections[sel]
+			if s == nil || s.Kind() != types.MethodVal {
+				return true
+			}
+			m, ok := s.Obj().(*types.Func)
+			if !ok || m.Pkg() == nil || !strings.HasPrefix(m.Name(), "Write") {
+				return true
+			}
+			named := namedRecv(s.Recv())
+			if named == nil {
+				return true
+			}
+			npkg := named.Obj().Pkg()
+			if npkg == nil {
+				return true
+			}
+			builder := (npkg.Path() == "strings" && named.Obj().Name() == "Builder") ||
+				(npkg.Path() == "bytes" && named.Obj().Name() == "Buffer")
+			if !builder {
+				return true
+			}
+			if obj, id := outside(sel.X); obj != nil {
+				flag(n, "%s.%s inside a map-range loop: output order depends on map iteration order (iterate sorted keys instead)", id.Name, m.Name())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether obj is passed to a recognized sort call
+// after the range loop, within the same function — the "provably sorted
+// afterwards" exemption.
+func sortedAfter(p *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		id := calleeIdent(call)
+		if id == nil {
+			return true
+		}
+		fn := pkgFunc(p.Info, id)
+		if fn == nil || !sortCalls[fn.Pkg().Path()][fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if aid, ok := an.(*ast.Ident); ok && p.Info.ObjectOf(aid) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

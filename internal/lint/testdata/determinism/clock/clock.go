@@ -1,0 +1,10 @@
+// Package clock is outside the engine set: wall clocks are fine here.
+// This is where injected seams like dist.Coordinator.now live.
+package clock
+
+import "time"
+
+// Stamp may read the wall clock — it never feeds an engine verdict.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

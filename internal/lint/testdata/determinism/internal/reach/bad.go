@@ -1,0 +1,26 @@
+// Package reach is a determinism-analyzer fixture: an engine package
+// reaching for wall clocks and package-global randomness.
+package reach
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Explore leaks the wall clock and the process-global generator into an
+// engine result.
+func Explore(budget int) int {
+	start := time.Now()                  // want `time\.Now in engine package reach`
+	n := rand.IntN(budget)               // want `package-global rand\.IntN`
+	time.Sleep(time.Millisecond)         // want `time\.Sleep in engine package`
+	if time.Since(start) > time.Second { // want `time\.Since in engine package`
+		return 0
+	}
+	return n + int(rand.Int64()%3) // want `package-global rand\.Int64`
+}
+
+// Deadline captures a clock function as a value — just as forbidden as
+// calling it.
+func Deadline() func() time.Time {
+	return time.Now // want `time\.Now in engine package reach`
+}

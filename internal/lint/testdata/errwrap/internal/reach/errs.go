@@ -1,0 +1,55 @@
+// Package reach is the errwrap-analyzer fixture: the PR 6
+// "reach: run canceled: %w" idiom at exported entry points.
+package reach
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget carries the package prefix — clean.
+var ErrBudget = errors.New("reach: exploration budget exhausted")
+
+// ErrBare is a package-level sentinel without the prefix.
+var ErrBare = errors.New("budget exhausted") // want `sentinel ErrBare lacks the "reach: " prefix`
+
+// Check is an exported entry point; its directly constructed errors must
+// be prefixed, and wrapped errors must use %w.
+func Check(x int) error {
+	if x < 0 {
+		return errors.New("negative input") // want `returned by Check lacks the "reach: " prefix`
+	}
+	if err := helper(x); err != nil {
+		return fmt.Errorf("reach: checking %d: %w", x, err)
+	}
+	if err := helper(x + 1); err != nil {
+		return fmt.Errorf("reach: checking %d: %v", x, err) // want `wrapped error without %w`
+	}
+	if x > 10 {
+		return fmt.Errorf("out of range: %d", x) // want `returned by Check lacks the "reach: " prefix`
+	}
+	return nil
+}
+
+// Run shows the closure exemption: a return inside a function literal is
+// not a return of the entry point.
+func Run(xs []int) error {
+	check := func(x int) error {
+		return fmt.Errorf("x = %d", x)
+	}
+	for _, x := range xs {
+		if err := check(x); err != nil {
+			return fmt.Errorf("reach: running: %w", err)
+		}
+	}
+	return nil
+}
+
+// helper is unexported: it builds unprefixed fragments for exported
+// callers to wrap — exempt.
+func helper(x int) error {
+	if x == 3 {
+		return fmt.Errorf("unlucky %d", x)
+	}
+	return nil
+}

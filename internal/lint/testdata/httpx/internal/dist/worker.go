@@ -1,0 +1,31 @@
+// Package dist is the clean half of the httpx fixture: constructing an
+// *http.Client and handing it to the httpx seam is the sanctioned
+// pattern (the real dist.Worker.Client injection point).
+package dist
+
+import (
+	"net/http"
+	"time"
+
+	"example.com/fix/internal/httpx"
+)
+
+// Worker holds an injectable client but never calls it directly.
+type Worker struct {
+	Client *http.Client
+}
+
+// Run routes every request through the httpx seam.
+func (w *Worker) Run(req *http.Request) error {
+	client := w.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &httpx.Client{HTTP: client}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

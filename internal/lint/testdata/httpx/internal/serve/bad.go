@@ -1,0 +1,32 @@
+// Package serve is the httpx-analyzer fixture: every way of bypassing
+// the retry client.
+package serve
+
+import "net/http"
+
+// Fetch uses the package-level helpers and the default client.
+func Fetch(url string) error {
+	resp, err := http.Get(url) // want `http\.Get uses http\.DefaultClient`
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	resp2, err := http.DefaultClient.Do(req) // want `http\.DefaultClient bypasses` `\(\*http\.Client\)\.Do bypasses`
+	if err != nil {
+		return err
+	}
+	resp2.Body.Close()
+	return nil
+}
+
+// Direct builds its own client and calls it — the method-call bypass.
+func Direct(url string) error {
+	c := &http.Client{}
+	resp, err := c.Get(url) // want `\(\*http\.Client\)\.Get bypasses`
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

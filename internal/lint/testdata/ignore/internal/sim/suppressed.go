@@ -1,0 +1,17 @@
+// Package sim exercises //crnlint:ignore: every violation here carries a
+// well-formed directive, so the fixture expects zero findings.
+package sim
+
+import "time"
+
+// Telemetry reads the wall clock for a log line that never reaches a
+// verdict — suppressed with a trailing directive.
+func Telemetry() int64 {
+	return time.Now().UnixNano() //crnlint:ignore determinism telemetry only, never feeds a verdict
+}
+
+// Above suppresses from the line directly above the finding.
+func Above() int64 {
+	//crnlint:ignore determinism measured outside the verdict path
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,71 @@
+// Package core is the mapiter-analyzer fixture: map-range loops whose
+// order does and does not leak into output.
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// SortedKeys collects then sorts — the repo idiom, exempt.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedValues uses sort.Slice on the collected result — also exempt.
+func SortedValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// UnsortedKeys leaks iteration order into the returned slice.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map-range loop`
+	}
+	return keys
+}
+
+// SendKeys leaks iteration order into channel receive order.
+func SendKeys(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `send on a channel inside a map-range loop`
+	}
+}
+
+// JoinKeys leaks iteration order into the built string.
+func JoinKeys(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside a map-range loop`
+	}
+	return b.String()
+}
+
+// Count aggregates order-insensitively — not flagged.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Invert writes into another map — order-insensitive, not flagged.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

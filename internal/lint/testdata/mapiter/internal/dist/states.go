@@ -1,0 +1,29 @@
+// Package dist mirrors the coordinator's lease table: ranging over a
+// slice is ordered, so these loops are clean — telling this apart from a
+// map range is exactly why the analyzer needs go/types.
+package dist
+
+type rectState struct {
+	done  bool
+	count int
+}
+
+// Progress iterates a []rectState, like the real coordinator's
+// `for id := range co.states` loops.
+func Progress(states []rectState) (done, total int) {
+	for id := range states {
+		if states[id].done {
+			done++
+		}
+	}
+	return done, len(states)
+}
+
+// Merge appends from a slice range — ordered, clean.
+func Merge(states []rectState) []int {
+	var counts []int
+	for _, st := range states {
+		counts = append(counts, st.count)
+	}
+	return counts
+}

@@ -1,0 +1,12 @@
+// Package web sits outside the deterministic set: mapiter does not
+// apply, so this order-leaking loop is legal here.
+package web
+
+// Names may leak map order — this package makes no determinism promise.
+func Names(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}

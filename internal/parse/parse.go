@@ -58,7 +58,7 @@ func Parse(input string) (*crn.CRN, error) {
 			}
 			continue
 		}
-		r, err := ParseReaction(line)
+		r, err := parseReaction(line)
 		if err != nil {
 			return nil, fmt.Errorf("parse: line %d: %w", lineNo+1, err)
 		}
@@ -72,6 +72,16 @@ func Parse(input string) (*crn.CRN, error) {
 
 // ParseReaction parses a single reaction such as "2X + L -> 3Y".
 func ParseReaction(line string) (crn.Reaction, error) {
+	r, err := parseReaction(line)
+	if err != nil {
+		return crn.Reaction{}, fmt.Errorf("parse: %w", err)
+	}
+	return r, nil
+}
+
+// parseReaction is the unprefixed inner parser: Parse wraps its errors
+// with the line number, ParseReaction with the bare package prefix.
+func parseReaction(line string) (crn.Reaction, error) {
 	line = strings.ReplaceAll(line, "→", "->")
 	lhs, rhs, ok := strings.Cut(line, "->")
 	if !ok {
