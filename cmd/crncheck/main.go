@@ -33,6 +33,11 @@
 // cancellation instead of a partial verdict. -progress prints throttled
 // checked-inputs counts to stderr without affecting the result.
 //
+// A coordinator serves GET /metrics (lease-table gauges, lease churn,
+// per-rectangle completion latency) on its protocol listener, and
+// -debug-addr adds net/http/pprof on a separate operator-only listener
+// — profiles never share the port workers connect to.
+//
 // Usage:
 //
 //	crncheck -crn min.crn -f min -lo 0 -hi 5
@@ -47,6 +52,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -94,9 +102,20 @@ func run(args []string, out io.Writer) error {
 		shards     = fs.Int("shards", 0, "coordinator: number of grid rectangles to lease out (0 = 16; more shards than workers keeps the tail balanced)")
 		lease      = fs.Duration("lease", dist.DefaultLeaseTTL, "coordinator: lease TTL before a silent worker's rectangle is reassigned")
 		checkpoint = fs.String("checkpoint", "", "coordinator: checkpoint file; completed rectangles are saved after each result and resumed on restart")
+		debugAddr  = fs.String("debug-addr", "", "coordinator: serve net/http/pprof on a separate listener (host:port); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		if *coordAddr == "" {
+			return fmt.Errorf("-debug-addr only applies to coordinator mode (-coordinator)")
+		}
+		da, derr := startDebugServer(*debugAddr)
+		if derr != nil {
+			return fmt.Errorf("debug listener: %w", derr)
+		}
+		fmt.Fprintf(os.Stderr, "crncheck: pprof on %s/debug/pprof/\n", da)
 	}
 	// SIGINT/SIGTERM cancel the run: engines unwind at their next
 	// deterministic cancellation point (level barrier / grid chunk) and
@@ -190,6 +209,24 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("verification failed")
 	}
 	return nil
+}
+
+// startDebugServer serves net/http/pprof on its own listener so
+// profiles come from a separate, operator-only port — never the
+// protocol listener workers connect to.
+func startDebugServer(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr(), nil
 }
 
 // stderrProgress returns a reporter printing throttled "checked m/n"

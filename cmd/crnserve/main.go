@@ -39,6 +39,15 @@
 //	                    server stops admitting (readyz flips to 503), lets
 //	                    in-flight jobs finish within this budget, cancels
 //	                    the rest, and exits 0 (default 30s)
+//	-debug-addr addr    serve net/http/pprof profiles on a separate
+//	                    listener (host:port); empty disables. Profiles
+//	                    never share the public listener, so an exposed
+//	                    API port cannot leak heap or CPU profiles
+//
+// GET /metrics on the public listener renders every operational
+// counter (cache, jobs, per-endpoint latency, engine progress, httpx
+// retries) in the Prometheus text exposition format; see README.md
+// ("Observability").
 //
 // Quickstart:
 //
@@ -55,6 +64,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +75,24 @@ import (
 	"crncompose/internal/dist"
 	"crncompose/internal/serve"
 )
+
+// startDebugServer serves net/http/pprof on its own listener so
+// profiles come from a separate, operator-only port — never the public
+// API one. Returns the bound address (port 0 picks a free one).
+func startDebugServer(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr(), nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
@@ -87,9 +117,17 @@ func run(args []string, out io.Writer, ctx context.Context) error {
 		maxJobs   = fs.Int("max-jobs", serve.DefaultMaxJobs, "async jobs executing concurrently (admission budget)")
 		jobTTL    = fs.Duration("job-ttl", serve.DefaultJobTTL, "terminal-job lifetime in the job table (negative disables expiry; done results stay cached)")
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight jobs get this long to finish on SIGINT/SIGTERM before being canceled")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof on a separate listener (host:port); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		da, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "crnserve: pprof on %s/debug/pprof/\n", da)
 	}
 	s := serve.New(serve.Config{
 		Workers:          *workers,

@@ -47,6 +47,14 @@
 //     backoff, per-attempt timeouts, a wall-clock retry budget, and the
 //     4xx/5xx retryability split (server errors and transport failures
 //     retry; rejections fail fast);
+//   - internal/metrics: a stdlib-only metrics registry — atomic
+//     counters, gauges, and fixed-bucket histograms with bounded label
+//     vectors — rendering the Prometheus text exposition format 0.0.4
+//     deterministically (sorted families and label sets); every timing
+//     primitive takes its instants from the caller, so the package
+//     never reads a clock and the determinism analyzer still catches
+//     engines laundering time.Now through a metrics timer; surfaced at
+//     GET /metrics on crnserve and on the dist coordinator;
 //   - internal/faultnet: deterministic seeded fault injection for chaos
 //     tests — RoundTripper and Listener wrappers that refuse, time out,
 //     inject 5xx, slow, or drop-after-commit requests on a pure
@@ -64,8 +72,10 @@
 //     tree to lint clean;
 //   - internal/progress: the progress.Reporter seam every long-running
 //     engine reports through (checked grid inputs, explored levels,
-//     simulation steps, synthesized modules) — the hook CLI progress
-//     printers and future per-operation metrics attach to;
+//     simulation steps, synthesized modules) — the hook the CLI progress
+//     printers and the internal/metrics per-stage families attach to;
+//     the stage strings and their Done/Total semantics are pinned by
+//     a cross-engine contract test;
 //   - internal/sim: Gillespie and fair-random stochastic simulation, both
 //     maintaining their hot state (propensities, the applicable set)
 //     incrementally over the CRN's memoized reaction dependency graph,

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"crncompose/internal/crn"
+	"crncompose/internal/metrics"
 	"crncompose/internal/reach"
 )
 
@@ -52,6 +53,11 @@ type CoordinatorConfig struct {
 	Checkpoint string
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Metrics is the registry the coordinator's GET /metrics renders
+	// (lease-table gauges, lease-churn counters, per-rectangle
+	// completion histogram). Nil gets a private registry; inject one to
+	// aggregate coordinator metrics with a host process's.
+	Metrics *metrics.Registry
 }
 
 type rectStatus int
@@ -67,6 +73,7 @@ type rectState struct {
 	status   rectStatus
 	worker   string    // current lease holder (status == rectLeased)
 	deadline time.Time // lease expiry (status == rectLeased)
+	leasedAt time.Time // when the current lease was granted (completion histogram)
 	attempts int       // times leased (for /status observability)
 	result   reach.GridResult
 	raw      json.RawMessage // wire form of result, for the checkpoint file
@@ -83,6 +90,7 @@ type Coordinator struct {
 	rects  []Rect
 	ttl    time.Duration
 	now    func() time.Time // injectable for lease tests
+	met    *distMetrics
 
 	mu        sync.Mutex
 	states    []rectState
@@ -157,13 +165,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		states:    make([]rectState, len(rects)),
 		doneCh:    make(chan struct{}),
 		closingCh: make(chan struct{}),
+		met:       newDistMetrics(cfg.Metrics),
 	}
+	co.mu.Lock()
 	if cfg.Checkpoint != "" {
-		co.mu.Lock()
 		co.loadCheckpointLocked()
 		co.checkFinishedLocked()
-		co.mu.Unlock()
 	}
+	co.syncRectsLocked()
+	co.mu.Unlock()
 	return co, nil
 }
 
@@ -194,8 +204,11 @@ func (co *Coordinator) lease(worker string) LeaseResponse {
 		}
 		st.status = rectLeased
 		st.worker = worker
-		st.deadline = co.now().Add(co.ttl)
+		st.leasedAt = co.now()
+		st.deadline = st.leasedAt.Add(co.ttl)
 		st.attempts++
+		co.met.leasesGranted.Inc()
+		co.syncRectsLocked()
 		r := co.rects[id]
 		co.logf("lease: rect %d -> %s (attempt %d)", id, worker, st.attempts)
 		return LeaseResponse{Rect: &r, TTLMillis: co.ttl.Milliseconds()}
@@ -284,6 +297,7 @@ func (co *Coordinator) renew(worker string, rectID int) RenewResponse {
 	}
 	st := &co.states[rectID]
 	if st.status != rectLeased || st.worker != worker {
+		co.met.renewFailures.Inc()
 		return RenewResponse{}
 	}
 	st.deadline = co.now().Add(co.ttl)
@@ -315,11 +329,16 @@ func (co *Coordinator) result(req ResultRequest) (ResultResponse, error) {
 			return ResultResponse{}, fmt.Errorf("dist: rect %d: %w", req.RectID, err)
 		}
 	}
+	if !st.leasedAt.IsZero() {
+		// Lease grant to accepted result, on the coordinator's clock seam.
+		co.met.rectSeconds.ObserveSince(st.leasedAt, co.now())
+	}
 	st.status = rectDone
 	st.worker = req.Worker
 	st.result = res
 	st.raw = req.Result
 	st.errMsg = req.Err
+	co.syncRectsLocked()
 	co.logf("result: rect %d from %s: %v", req.RectID, req.Worker, res)
 	if co.cfg.Checkpoint != "" {
 		if err := co.saveCheckpointLocked(); err != nil {
@@ -339,6 +358,8 @@ func (co *Coordinator) sweepLocked() {
 			co.logf("lease: rect %d expired (held by %s); requeued", id, st.worker)
 			st.status = rectPending
 			st.worker = ""
+			co.met.leaseExpired.Inc()
+			co.syncRectsLocked()
 		}
 	}
 }
@@ -437,6 +458,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, co.status())
 	})
+	mux.Handle("GET /metrics", co.met.reg.Handler())
 	return mux
 }
 

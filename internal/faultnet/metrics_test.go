@@ -1,0 +1,42 @@
+package faultnet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crncompose/internal/metrics"
+)
+
+// TestTransportMetrics checks that injected faults land on the shared
+// registry with the fault kind as the label, matching Counts().
+func TestTransportMetrics(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	reg := metrics.NewRegistry()
+	tr := NewTransport(nil, Schedule{Seed: 7, PServerError: 1})
+	tr.Metrics = NewInjectionCounter(reg)
+	client := &http.Client{Transport: tr}
+
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `crn_faultnet_injections_total{fault="server-error"} 5`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, b.String())
+	}
+	if got := tr.Counts()[FaultServerError]; got != 5 {
+		t.Fatalf("Counts()[server-error] = %d, want 5", got)
+	}
+}

@@ -76,8 +76,13 @@ type Client struct {
 	// Rand draws jitter: a uniform int64 in [0, n). Nil uses math/rand/v2.
 	// Injectable so tests can pin backoff schedules.
 	Rand func(n int64) int64
-	// Logf, when non-nil, receives one line per retried failure.
+	// Logf, when non-nil, receives one line per retried failure and one
+	// line when the call gives up (attempts or budget exhausted).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, records per-attempt counters and latency
+	// histograms plus a give-up counter on a shared metrics registry.
+	// Nil-safe like Logf: the zero Client records nothing.
+	Metrics *Metrics
 }
 
 // StatusError is a non-2xx HTTP response, carrying enough of the reply to
@@ -95,6 +100,17 @@ type StatusError struct {
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("%s %s: %s: %s", e.Method, e.URL, e.Status, e.Body)
+}
+
+// StatusCode returns the HTTP status carried by err (through any
+// wrapping), or 0 when err holds no *StatusError — i.e. the failure
+// never got a response: transport error, timeout, truncated body.
+func StatusCode(err error) int {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.StatusCode
+	}
+	return 0
 }
 
 // Retryable reports whether err is worth retrying: transport errors,
@@ -175,7 +191,10 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, ou
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		attemptStart := time.Now()
 		err := c.attempt(ctx, httpc, method, url, body, out)
+		elapsed := time.Since(attemptStart)
+		c.Metrics.recordAttempt(method, elapsed, err)
 		if err == nil {
 			return nil
 		}
@@ -189,14 +208,24 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, ou
 		}
 		lastErr = err
 		if maxAttempts > 0 && attempt+1 >= maxAttempts {
+			c.Metrics.recordGiveUp(method)
+			if c.Logf != nil {
+				c.Logf("httpx: %s %s giving up after %d attempts (last attempt took %s, status %d): %v",
+					method, url, attempt+1, elapsed, StatusCode(lastErr), lastErr)
+			}
 			return fmt.Errorf("httpx: %s %s failed after %d attempts: %w", method, url, attempt+1, lastErr)
 		}
 		d := c.backoff(attempt)
 		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+			c.Metrics.recordGiveUp(method)
+			if c.Logf != nil {
+				c.Logf("httpx: %s %s giving up, retry budget %s exhausted after %d attempts (last attempt took %s, status %d): %v",
+					method, url, c.Budget, attempt+1, elapsed, StatusCode(lastErr), lastErr)
+			}
 			return fmt.Errorf("httpx: %s %s: retry budget %s exhausted after %d attempts: %w", method, url, c.Budget, attempt+1, lastErr)
 		}
 		if c.Logf != nil {
-			c.Logf("httpx: %s %s attempt %d: %v (retrying in %s)", method, url, attempt+1, err, d)
+			c.Logf("httpx: %s %s attempt %d failed in %s: %v (retrying in %s)", method, url, attempt+1, elapsed, err, d)
 		}
 		if !sleepCtx(ctx, d) {
 			return fmt.Errorf("httpx: %s %s: %w", method, url, ctx.Err())

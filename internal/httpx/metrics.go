@@ -1,0 +1,63 @@
+package httpx
+
+import (
+	"time"
+
+	"crncompose/internal/metrics"
+)
+
+// Metrics is the client's optional observability seam, registering
+// three families on a shared registry:
+//
+//	crn_httpx_attempts_total{method,outcome}  counter   — every attempt,
+//	    outcome ok | retryable | fatal (fatal = the server rejected the
+//	    request; Retryable is false and the call fails fast)
+//	crn_httpx_attempt_seconds                 histogram — per-attempt latency
+//	crn_httpx_giveups_total{method}           counter   — calls that
+//	    exhausted MaxAttempts or the retry Budget
+//
+// All methods are nil-receiver safe, so Client.Metrics can stay nil
+// (the zero Client) with no checks at call sites.
+type Metrics struct {
+	attempts *metrics.CounterVec
+	seconds  *metrics.Histogram
+	giveups  *metrics.CounterVec
+}
+
+// NewMetrics registers the httpx families on r. Registration is
+// idempotent on the registry, so several clients can share one
+// registry (and one Metrics).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		attempts: r.CounterVec("crn_httpx_attempts_total",
+			"HTTP attempts through the retry client, by method and outcome (ok, retryable, fatal).",
+			"method", "outcome"),
+		seconds: r.Histogram("crn_httpx_attempt_seconds",
+			"Per-attempt latency through the retry client.", metrics.DefBuckets),
+		giveups: r.CounterVec("crn_httpx_giveups_total",
+			"Calls that exhausted their attempts or retry budget.", "method"),
+	}
+}
+
+func (m *Metrics) recordAttempt(method string, d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	outcome := "ok"
+	if err != nil {
+		if Retryable(err) {
+			outcome = "retryable"
+		} else {
+			outcome = "fatal"
+		}
+	}
+	m.attempts.With(method, outcome).Inc()
+	m.seconds.Observe(d.Seconds())
+}
+
+func (m *Metrics) recordGiveUp(method string) {
+	if m == nil {
+		return
+	}
+	m.giveups.With(method).Inc()
+}

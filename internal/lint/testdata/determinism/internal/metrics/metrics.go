@@ -1,0 +1,44 @@
+// Package metrics mirrors the real internal/metrics caller-owned-clock
+// API. It is outside the engine set, so the clock-typed parameters are
+// legal here — the analyzer's job is to catch engine callers passing
+// time.Now into them (see internal/reach/timer.go).
+package metrics
+
+import "time"
+
+// Histogram is a minimal stand-in for the real fixed-bucket histogram.
+type Histogram struct {
+	count uint64
+	sum   float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+}
+
+// ObserveSince records now−start in seconds. Both instants come from the
+// caller: this package never reads a clock.
+func (h *Histogram) ObserveSince(start, now time.Time) {
+	h.Observe(now.Sub(start).Seconds())
+}
+
+// Timer carries a caller-supplied clock from StartTimer to ObserveDuration.
+type Timer struct {
+	clock func() time.Time
+	start time.Time
+	h     *Histogram
+}
+
+// StartTimer captures clock() as the start instant. The clock parameter is
+// the determinism seam: engine packages cannot supply time.Now without the
+// analyzer flagging the reference at the call site.
+func StartTimer(clock func() time.Time, h *Histogram) *Timer {
+	return &Timer{clock: clock, start: clock(), h: h}
+}
+
+// ObserveDuration records the elapsed time on the captured clock.
+func (t *Timer) ObserveDuration() {
+	t.h.ObserveSince(t.start, t.clock())
+}

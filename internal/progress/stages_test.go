@@ -1,0 +1,156 @@
+package progress_test
+
+import (
+	"sync"
+	"testing"
+
+	"crncompose/internal/benchcrn"
+	"crncompose/internal/classify"
+	"crncompose/internal/core"
+	"crncompose/internal/progress"
+	"crncompose/internal/reach"
+	"crncompose/internal/sim"
+	"crncompose/internal/synth"
+	"crncompose/internal/vec"
+)
+
+// recorder captures every posted event, grouped by stage. Posts may come
+// from engine worker goroutines, so it is mutex-guarded.
+type recorder struct {
+	mu     sync.Mutex
+	events map[string][]progress.Event
+}
+
+func (r *recorder) Report(e progress.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.events == nil {
+		r.events = make(map[string][]progress.Event)
+	}
+	r.events[e.Stage] = append(r.events[e.Stage], e)
+}
+
+func (r *recorder) stage(s string) []progress.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events[s]
+}
+
+// TestEngineStages pins the progress contract every consumer (serve's
+// metrics adapter, the CLI -progress printers) relies on: each engine
+// posts its documented stage string, Done never decreases, and Total is
+// the documented constant for the whole run. A renamed stage or a
+// regressing Done breaks dashboards silently, so it is asserted here.
+func TestEngineStages(t *testing.T) {
+	const simSteps = 3 * 4096 // three cancel windows => at least two posts
+
+	cases := []struct {
+		stage string
+		// wantTotal is the documented constant Total for the stage;
+		// -1 means "unknown in advance" (only constancy is checked).
+		wantTotal int64
+		run       func(t *testing.T, rep progress.Reporter)
+	}{
+		{
+			// CheckGrid posts once per grid chunk with Done = inputs
+			// checked so far and Total = grid points.
+			stage:     "reach.grid",
+			wantTotal: 6,
+			run: func(t *testing.T, rep progress.Reporter) {
+				c := benchcrn.SkewGrid(1, 3) // stably computes f ≡ 0
+				res, err := reach.CheckGrid(c, func([]int64) int64 { return 0 },
+					[]int64{0}, []int64{5}, reach.WithWorkers(1), reach.WithProgress(rep))
+				if err != nil || !res.OK() {
+					t.Fatalf("CheckGrid: %v %v", res, err)
+				}
+			},
+		},
+		{
+			// Explore posts every 1024 expanded heads with Done = configs
+			// discovered; the frontier size is unknowable, so Total = 0.
+			stage:     "reach.explore",
+			wantTotal: 0,
+			run: func(t *testing.T, rep progress.Reporter) {
+				// 2^11 configurations at x = 1 — past the 1024-head stride.
+				c := benchcrn.SkewGrid(1, 11)
+				g := reach.Explore(c.MustInitialConfig(vec.New(1)),
+					reach.WithWorkers(1), reach.WithProgress(rep))
+				if g.NumConfigs() <= 1024 {
+					t.Fatalf("graph too small to cross the post stride: %d", g.NumConfigs())
+				}
+			},
+		},
+		{
+			// Simulators post every cancel window with Done = steps fired
+			// and Total = the step budget.
+			stage:     "sim",
+			wantTotal: simSteps,
+			run: func(t *testing.T, rep progress.Reporter) {
+				// A ring token cycles forever, so the run exhausts MaxSteps.
+				start := benchcrn.Ring(16).MustInitialConfig(vec.New(1))
+				r := sim.FairRandom(start, sim.WithSeed(1),
+					sim.WithMaxSteps(simSteps), sim.WithProgress(rep))
+				if r.Converged {
+					t.Fatal("ring workload converged; sim posts not exercised")
+				}
+			},
+		},
+		{
+			// The classifier posts per eventual determined region with
+			// Total = regions in the census (unknown here in advance).
+			stage:     "classify.regions",
+			wantTotal: -1,
+			run: func(t *testing.T, rep progress.Reporter) {
+				res, err := classify.Analyze(core.Library()["min"],
+					classify.Options{Progress: rep})
+				if err != nil || !res.Computable {
+					t.Fatalf("Analyze(min): %+v %v", res, err)
+				}
+			},
+		},
+		{
+			// General posts per top-level restriction module with
+			// Total = d·n; N = 1 forces d·1 = 2 modules for min.
+			stage:     "synth.modules",
+			wantTotal: 2,
+			run: func(t *testing.T, rep progress.Reporter) {
+				_, _, err := synth.General(core.Library()["min"],
+					synth.GeneralOptions{N: 1, Progress: rep})
+				if err != nil {
+					t.Fatalf("General(min): %v", err)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.stage, func(t *testing.T) {
+			rec := &recorder{}
+			tc.run(t, rec)
+			evs := rec.stage(tc.stage)
+			if len(evs) == 0 {
+				got := make([]string, 0, len(rec.events))
+				for s := range rec.events {
+					got = append(got, s)
+				}
+				t.Fatalf("no %q events posted (saw stages %q)", tc.stage, got)
+			}
+			for i, e := range evs {
+				if e.Done < 0 {
+					t.Errorf("event %d: negative Done %d", i, e.Done)
+				}
+				if i > 0 && e.Done < evs[i-1].Done {
+					t.Errorf("Done regressed at event %d: %d after %d",
+						i, e.Done, evs[i-1].Done)
+				}
+				if e.Total != evs[0].Total {
+					t.Errorf("Total changed mid-run at event %d: %d then %d",
+						i, evs[0].Total, e.Total)
+				}
+			}
+			if tc.wantTotal >= 0 && evs[0].Total != tc.wantTotal {
+				t.Errorf("Total = %d, want %d", evs[0].Total, tc.wantTotal)
+			}
+		})
+	}
+}

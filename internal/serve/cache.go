@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"sync"
+
+	"crncompose/internal/metrics"
 )
 
 // requestKey derives the content address of a canonical request: the SHA-256
@@ -53,7 +55,13 @@ type resultCache struct {
 	items    map[string]*list.Element
 	inflight map[string]*flight
 
-	hits, misses, dedups, evictions uint64
+	// The counters are metrics values so the cache's accounting and the
+	// /metrics scrape are the same numbers. newResultCache starts them
+	// standalone (unregistered — fine for table-level tests that build
+	// caches directly); register re-homes them onto a shared registry
+	// before the cache sees traffic.
+	hits, misses, dedups, evictions *metrics.Counter
+	entries                         *metrics.Gauge
 }
 
 type cacheItem struct {
@@ -70,11 +78,35 @@ type flight struct {
 
 func newResultCache(max int) *resultCache {
 	return &resultCache{
-		max:      max,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
+		max:       max,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		inflight:  make(map[string]*flight),
+		hits:      &metrics.Counter{},
+		misses:    &metrics.Counter{},
+		dedups:    &metrics.Counter{},
+		evictions: &metrics.Counter{},
+		entries:   &metrics.Gauge{},
 	}
+}
+
+// register re-homes the cache counters onto reg, making them visible
+// on /metrics. Must run before the cache serves requests (Server.New
+// calls it right after construction); counts recorded before the swap
+// would be lost with it.
+func (rc *resultCache) register(reg *metrics.Registry) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.hits = reg.Counter("crn_cache_hits_total",
+		"Result-cache hits: responses replayed from the store.")
+	rc.misses = reg.Counter("crn_cache_misses_total",
+		"Result-cache misses: requests that ran the computation.")
+	rc.dedups = reg.Counter("crn_cache_dedups_total",
+		"Requests that joined an identical in-flight computation (singleflight).")
+	rc.evictions = reg.Counter("crn_cache_evictions_total",
+		"Entries evicted by the LRU bound.")
+	rc.entries = reg.Gauge("crn_cache_entries",
+		"Entries currently stored in the result cache.")
 }
 
 // get returns the stored value for key, marking it most recently used.
@@ -83,7 +115,7 @@ func (rc *resultCache) get(key string) (cached, bool) {
 	defer rc.mu.Unlock()
 	if el, ok := rc.items[key]; ok {
 		rc.ll.MoveToFront(el)
-		rc.hits++
+		rc.hits.Inc()
 		return el.Value.(*cacheItem).val, true
 	}
 	return cached{}, false
@@ -97,20 +129,20 @@ func (rc *resultCache) do(key string, compute func() (cached, error)) (cached, s
 	rc.mu.Lock()
 	if el, ok := rc.items[key]; ok {
 		rc.ll.MoveToFront(el)
-		rc.hits++
+		rc.hits.Inc()
 		rc.mu.Unlock()
 		return el.Value.(*cacheItem).val, cacheHit, nil
 	}
 	if fl, ok := rc.inflight[key]; ok {
 		fl.waiters++
-		rc.dedups++
+		rc.dedups.Inc()
 		rc.mu.Unlock()
 		<-fl.done
 		return fl.val, cacheDedup, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
 	rc.inflight[key] = fl
-	rc.misses++
+	rc.misses.Inc()
 	rc.mu.Unlock()
 
 	fl.val, fl.err = compute()
@@ -141,8 +173,9 @@ func (rc *resultCache) storeLocked(key string, val cached) {
 		last := rc.ll.Back()
 		rc.ll.Remove(last)
 		delete(rc.items, last.Value.(*cacheItem).key)
-		rc.evictions++
+		rc.evictions.Inc()
 	}
+	rc.entries.Set(int64(rc.ll.Len()))
 }
 
 // put stores a computed value directly (used by the async job runner so a
@@ -159,9 +192,12 @@ func (rc *resultCache) flush() {
 	defer rc.mu.Unlock()
 	rc.ll.Init()
 	rc.items = make(map[string]*list.Element)
+	rc.entries.Set(0)
 }
 
-// cacheStats is the /v1/stats snapshot of the cache.
+// cacheStats is the /v1/stats snapshot of the cache. Field names are
+// a stable API (pinned by TestStatsJSONKeys); Inflight is the number
+// of computations currently running under singleflight.
 type cacheStats struct {
 	Entries   int    `json:"entries"`
 	Max       int    `json:"max"`
@@ -169,6 +205,7 @@ type cacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Dedups    uint64 `json:"dedups"`
 	Evictions uint64 `json:"evictions"`
+	Inflight  int    `json:"inflight"`
 }
 
 func (rc *resultCache) stats() cacheStats {
@@ -177,10 +214,11 @@ func (rc *resultCache) stats() cacheStats {
 	return cacheStats{
 		Entries:   rc.ll.Len(),
 		Max:       rc.max,
-		Hits:      rc.hits,
-		Misses:    rc.misses,
-		Dedups:    rc.dedups,
-		Evictions: rc.evictions,
+		Hits:      rc.hits.Value(),
+		Misses:    rc.misses.Value(),
+		Dedups:    rc.dedups.Value(),
+		Evictions: rc.evictions.Value(),
+		Inflight:  len(rc.inflight),
 	}
 }
 

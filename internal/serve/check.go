@@ -141,7 +141,8 @@ func (s *Server) runCheckGrid(j *checkJob) (cached, error) {
 	res, err := reach.CheckGrid(j.c, j.f, j.cc.Lo, j.cc.Hi,
 		reach.WithMaxConfigs(j.cc.MaxConfigs),
 		reach.WithMaxCount(j.cc.MaxCount),
-		reach.WithWorkers(s.cfg.Workers))
+		reach.WithWorkers(s.cfg.Workers),
+		reach.WithProgress(s.progressReporter()))
 	if err != nil {
 		// A deterministic enumeration error (the CLI exits without JSON):
 		// reported, never cached.

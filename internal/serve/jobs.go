@@ -126,6 +126,7 @@ func (jt *jobTable) getOrCreate(j *checkJob, s *Server) *asyncJob {
 		base = context.Background()
 	}
 	jb.ctx, jb.cancel = context.WithCancel(base)
+	s.met.submitted()
 	if val, ok := s.cache.get(j.key); ok {
 		jb.state = jobDone
 		jb.body = val.body
@@ -133,16 +134,19 @@ func (jt *jobTable) getOrCreate(j *checkJob, s *Server) *asyncJob {
 		jb.cancel()
 		close(jb.done)
 		jt.jobs[j.key] = jb
+		s.met.jobTransition("", jobDone)
 		return jb
 	}
 	select {
 	case jt.queue <- jb:
+		s.met.jobTransition("", jobQueued)
 	default:
 		jb.state = jobFailed
 		jb.errMsg = "job queue full"
 		jb.finishedAt = jt.now()
 		jb.cancel()
 		close(jb.done)
+		s.met.jobTransition("", jobFailed)
 	}
 	jt.jobs[j.key] = jb
 	return jb
@@ -269,6 +273,7 @@ func (s *Server) runJob(jb *asyncJob) {
 		}
 	}
 	s.jobs.mu.Lock()
+	from := jb.state
 	switch {
 	case err != nil && jb.ctx.Err() != nil:
 		jb.state = jobCanceled
@@ -281,6 +286,7 @@ func (s *Server) runJob(jb *asyncJob) {
 		jb.body = body
 		s.cache.put(jb.id, cached{status: http.StatusOK, contentType: contentTypeJSON, body: body})
 	}
+	s.met.jobTransition(from, jb.state)
 	jb.finishedAt = s.jobs.now()
 	s.jobs.mu.Unlock()
 	jb.cancel()
@@ -307,7 +313,10 @@ func (s *Server) runJobLocal(jb *asyncJob) ([]byte, error) {
 	}
 	rects := dist.SplitGrid(cc.Lo, cc.Hi, shards)
 	s.jobs.mu.Lock()
-	jb.state = jobRunning
+	if jb.state != jobRunning { // a degraded job is already running
+		s.met.jobTransition(jb.state, jobRunning)
+		jb.state = jobRunning
+	}
 	jb.rects = len(rects)
 	s.jobs.mu.Unlock()
 
@@ -316,7 +325,8 @@ func (s *Server) runJobLocal(jb *asyncJob) ([]byte, error) {
 		res, err := reach.CheckRectCtx(jb.ctx, jb.check.c, jb.check.f, r.Lo, r.Hi,
 			reach.WithMaxConfigs(cc.MaxConfigs),
 			reach.WithMaxCount(cc.MaxCount),
-			reach.WithWorkers(s.cfg.Workers))
+			reach.WithWorkers(s.cfg.Workers),
+			reach.WithProgress(s.progressReporter()))
 		if err != nil {
 			return nil, err
 		}
@@ -361,6 +371,7 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 		Shards:     s.cfg.Shards,
 		LeaseTTL:   s.cfg.LeaseTTL,
 		Logf:       s.cfg.Logf,
+		Metrics:    s.cfg.Metrics,
 	})
 	if err != nil {
 		// A coordinator the job spec itself cannot configure would fail the
@@ -380,6 +391,7 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 	}()
 	_, total := co.Progress()
 	s.jobs.mu.Lock()
+	s.met.jobTransition(jb.state, jobRunning)
 	jb.state = jobRunning
 	jb.rects = total
 	s.jobs.mu.Unlock()
@@ -438,6 +450,7 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 // runJobLocal and the coordinator's merge.
 func (s *Server) degradeJob(jb *asyncJob, reason string) ([]byte, error) {
 	s.logf("job %.12s…: degrading to local execution: %s", jb.id, reason)
+	s.met.degraded()
 	s.jobs.mu.Lock()
 	jb.degraded = true
 	jb.degradedReason = reason

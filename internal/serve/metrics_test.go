@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"crncompose/internal/metrics"
+)
+
+// expositionLine is the text-format shape every sample line must have:
+// name, optional {labels}, one float/int value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9][0-9eE.+-]*|[+-]Inf|NaN)$`)
+
+// scrape fetches /metrics, validates every sample line against the text
+// exposition grammar, and returns series → value.
+func scrape(t *testing.T, url string) map[string]string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	series := make(map[string]string)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		series[line[:sp]] = line[sp+1:]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+// atLeast asserts the named series exists with value >= min.
+func atLeast(t *testing.T, series map[string]string, name string, min float64) {
+	t.Helper()
+	v, ok := series[name]
+	if !ok {
+		t.Fatalf("scrape missing series %q", name)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		t.Fatalf("series %q value %q: %v", name, v, err)
+	}
+	if f < min {
+		t.Fatalf("series %q = %v, want >= %v", name, f, min)
+	}
+}
+
+// TestMetricsEndpoint drives one cache miss and one hit through /v1/check
+// and asserts the scrape: valid exposition, cache counters, the
+// per-endpoint latency histogram, engine progress, and the advertised
+// httpx/jobs families. The /metrics route itself must not appear as an
+// endpoint label — a scrape should not grow the families it reads.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	hi := int64(1)
+	req := CheckRequest{CRN: minCRNText, Func: "min", Hi: &hi}
+	if status, src, body := post(t, ts.URL+"/v1/check", req); status != http.StatusOK || src != cacheMiss {
+		t.Fatalf("first check: %d %q %s", status, src, body)
+	}
+	if status, src, _ := post(t, ts.URL+"/v1/check", req); status != http.StatusOK || src != cacheHit {
+		t.Fatalf("second check: %d %q", status, src)
+	}
+
+	series := scrape(t, ts.URL)
+	atLeast(t, series, "crn_cache_hits_total", 1)
+	atLeast(t, series, "crn_cache_misses_total", 1)
+	atLeast(t, series, "crn_cache_entries", 1)
+	atLeast(t, series, `crn_http_request_duration_seconds_count{endpoint="/v1/check"}`, 2)
+	atLeast(t, series, `crn_http_requests_total{endpoint="/v1/check",code="200"}`, 2)
+	atLeast(t, series, `crn_progress_events_total{stage="reach.grid"}`, 1)
+	atLeast(t, series, "crn_jobs_submitted_total", 0)
+	atLeast(t, series, `crn_jobs{state="queued"}`, 0)
+	for name := range series {
+		if strings.Contains(name, `endpoint="/metrics"`) {
+			t.Fatalf("the /metrics route instrumented itself: %s", name)
+		}
+	}
+}
+
+// TestMetricsSharedRegistry: a caller-supplied registry receives the
+// server's families (the embedding pattern: one registry, one scrape for
+// the whole process), including the advertised-but-unused httpx seam.
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts := newTestServer(t, Config{Metrics: reg})
+	hi := int64(1)
+	post(t, ts.URL+"/v1/check", CheckRequest{CRN: minCRNText, Func: "min", Hi: &hi})
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE crn_cache_hits_total counter",
+		"# TYPE crn_http_request_duration_seconds histogram",
+		"# TYPE crn_jobs gauge",
+		"# TYPE crn_httpx_attempts_total counter",
+		"# TYPE crn_progress_events_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shared registry missing %q", want)
+		}
+	}
+}
+
+// TestStatsJSONKeys pins the /v1/stats wire format: every pre-metrics
+// key must survive the re-homing of the cache counters onto the shared
+// registry, byte-for-byte in name. Monitoring that parses these keys
+// must not break when the backing store changes.
+func TestStatsJSONKeys(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	hi := int64(1)
+	post(t, ts.URL+"/v1/check", CheckRequest{CRN: minCRNText, Func: "min", Hi: &hi})
+
+	status, body := get(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, body)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(body, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cache", "jobs"} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("stats missing top-level key %q: %s", key, body)
+		}
+	}
+	var cache map[string]json.Number
+	if err := json.Unmarshal(top["cache"], &cache); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"entries", "max", "hits", "misses", "dedups", "evictions"} {
+		if _, ok := cache[key]; !ok {
+			t.Errorf("stats.cache missing key %q: %s", key, top["cache"])
+		}
+	}
+	if n, _ := cache["hits"].Int64(); n != 0 {
+		t.Errorf("hits after one miss = %d, want 0", n)
+	}
+	if n, _ := cache["misses"].Int64(); n != 1 {
+		t.Errorf("misses after one check = %d, want 1", n)
+	}
+}

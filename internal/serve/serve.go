@@ -70,7 +70,9 @@ import (
 
 	"crncompose/internal/classify"
 	"crncompose/internal/core"
+	"crncompose/internal/metrics"
 	"crncompose/internal/parse"
+	"crncompose/internal/progress"
 	"crncompose/internal/semilinear"
 	"crncompose/internal/sim"
 	"crncompose/internal/synth"
@@ -134,6 +136,12 @@ type Config struct {
 	CoordinatorGrace time.Duration
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Metrics is the registry GET /metrics renders and every server
+	// counter registers on (cache, jobs, per-endpoint latency, engine
+	// progress, the httpx seam). Nil gets a private registry, so the
+	// endpoint always works; inject one to aggregate several components
+	// onto a single scrape.
+	Metrics *metrics.Registry
 }
 
 // Server is the verification service. Create with New; serve via Handler
@@ -142,6 +150,7 @@ type Server struct {
 	cfg   Config
 	cache *resultCache
 	jobs  *jobTable
+	met   *serveMetrics
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -182,11 +191,16 @@ func New(cfg Config) *Server {
 	if cfg.CoordinatorGrace == 0 {
 		cfg.CoordinatorGrace = DefaultCoordinatorGrace
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: newResultCache(cfg.CacheMax),
 		jobs:  newJobTable(),
+		met:   newServeMetrics(cfg.Metrics),
 	}
+	s.cache.register(cfg.Metrics)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	go s.runJobs()
 	if cfg.JobTTL > 0 {
@@ -212,39 +226,56 @@ func (s *Server) computed(op string) {
 // measures cold-path throughput.
 func (s *Server) FlushCache() { s.cache.flush() }
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API. Every route is wrapped with
+// the per-endpoint duration histogram and request counter; the
+// endpoint label is the route pattern, so label cardinality is the
+// route count, not the path space. GET /metrics itself is not
+// instrumented — a scrape should not grow the families it reads.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(endpoint, h))
+	}
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /readyz", "/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false, "draining": true})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 	})
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
-	mux.HandleFunc("POST /v1/check", s.handleCheck)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("POST /v1/classify", "/v1/classify", s.handleClassify)
+	handle("POST /v1/synthesize", "/v1/synthesize", s.handleSynthesize)
+	handle("POST /v1/check", "/v1/check", s.handleCheck)
+	handle("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
+	handle("POST /v1/jobs", "/v1/jobs", s.handleJobSubmit)
+	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobStatus)
+	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobDelete)
+	handle("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", s.handleJobResult)
+	if s.met != nil {
+		mux.Handle("GET /metrics", s.met.reg.Handler())
+	}
 	return mux
 }
 
-// Stats is the GET /v1/stats document.
+// Stats is the GET /v1/stats document. Cache and JobsTotal read from
+// the same counters GET /metrics renders (the registry is the single
+// source of truth); Jobs counts the jobs currently in the table by
+// state, which is a table snapshot, not a cumulative counter — expired
+// entries leave it, which is why JobsTotal exists.
 type Stats struct {
 	Cache cacheStats     `json:"cache"`
 	Jobs  map[string]int `json:"jobs"`
+	// JobsTotal is cumulative since process start: jobs submitted, jobs
+	// reaching each terminal state, and degraded dist handoffs.
+	JobsTotal map[string]uint64 `json:"jobs_total,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := Stats{Cache: s.cache.stats(), Jobs: map[string]int{}}
+	st := Stats{Cache: s.cache.stats(), Jobs: map[string]int{}, JobsTotal: s.met.jobTotals()}
 	s.jobs.mu.Lock()
 	for _, jb := range s.jobs.jobs {
 		st.Jobs[jb.state]++
@@ -292,7 +323,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}{1, "classify", req.Func, req.Bound})
 	val, source, err := s.cache.do(key, func() (cached, error) {
 		s.computed("classify")
-		res, err := classify.Analyze(f, classify.Options{Bound: req.Bound, WitnessSearch: true})
+		res, err := classify.Analyze(f, classify.Options{Bound: req.Bound, WitnessSearch: true, Progress: s.progressReporter()})
 		if err != nil {
 			return cached{}, err
 		}
@@ -358,7 +389,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}{1, "synthesize", req.Func, req.Bound, req.N, req.Leaderless})
 	val, source, err := s.cache.do(key, func() (cached, error) {
 		s.computed("synthesize")
-		resp, err := synthesize(f, req)
+		resp, err := synthesize(f, req, s.progressReporter())
 		if err != nil {
 			return cached{}, err
 		}
@@ -371,7 +402,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	writeCached(w, val, source)
 }
 
-func synthesize(f *semilinear.Func, req SynthesizeRequest) (SynthesizeResponse, error) {
+func synthesize(f *semilinear.Func, req SynthesizeRequest, rep progress.Reporter) (SynthesizeResponse, error) {
 	if req.Leaderless {
 		if f.Dim() != 1 {
 			return SynthesizeResponse{}, fmt.Errorf("leaderless construction is 1D only (Theorem 9.2); %s takes %d inputs", f.Name, f.Dim())
@@ -391,8 +422,9 @@ func synthesize(f *semilinear.Func, req SynthesizeRequest) (SynthesizeResponse, 
 		}, nil
 	}
 	net, _, err := synth.General(f, synth.GeneralOptions{
-		Classify: classify.Options{Bound: req.Bound, WitnessSearch: true},
+		Classify: classify.Options{Bound: req.Bound, WitnessSearch: true, Progress: rep},
 		N:        req.N,
+		Progress: rep,
 	})
 	if err != nil {
 		var nce *synth.NotComputableError
@@ -522,7 +554,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}})
 	val, source, err := s.cache.do(key, func() (cached, error) {
 		s.computed("simulate")
-		opts := []sim.Option{sim.WithMaxSteps(req.MaxSteps)}
+		opts := []sim.Option{sim.WithMaxSteps(req.MaxSteps), sim.WithProgress(s.progressReporter())}
 		if req.SilentSteps > 0 {
 			opts = append(opts, sim.WithSilentSteps(req.SilentSteps))
 		}
