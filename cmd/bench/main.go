@@ -36,6 +36,7 @@ import (
 	"crncompose/internal/serve"
 	"crncompose/internal/sim"
 	"crncompose/internal/synth"
+	"crncompose/internal/trace"
 	"crncompose/internal/vec"
 )
 
@@ -430,6 +431,66 @@ func serveSuite(quick bool) suiteReport {
 	rec := toRecord(name+"_cached", cached)
 	rec.Extra = withExtra(rec.Extra, "cold_vs_cached", float64(cold.NsPerOp())/float64(cached.NsPerOp()))
 	rep.Benchmarks = append(rep.Benchmarks, rec)
+
+	// The same cached-hit path with span recording on: every request now
+	// opens a serve.request root span and a serve.cache.lookup child.
+	// trace_overhead is the fractional cost over the untraced server
+	// (0.03 = 3% slower) — the tracing layer's budget on the hottest path.
+	// The two servers are measured interleaved in one loop so both see the
+	// same heap, GC, and scheduler conditions: a sequential traced-after-
+	// untraced measurement inherits the cold benchmark's heap growth and
+	// reads tens of percent of phantom overhead on a ~70µs request.
+	st := serve.New(serve.Config{
+		CacheMax:      64,
+		SyncGridLimit: 1 << 30,
+		Tracer:        trace.New(trace.Options{Proc: "bench"}),
+	})
+	if err := st.Start("127.0.0.1:0"); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = st.Shutdown(ctx)
+	}()
+	tracedURL := "http://" + st.Addr().String() + "/v1/check"
+	tryTraced := func() error {
+		raw, err := client.PostRaw(context.Background(), tracedURL, json.RawMessage(reqBody))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(raw.Body, want) {
+			return fmt.Errorf("traced served body differs from crncheck -json:\n%s\nwant:\n%s", raw.Body, want)
+		}
+		return nil
+	}
+	if err := tryTraced(); err != nil { // prime the cache outside the timer
+		fatal(err)
+	}
+	traced := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var plainNs, tracedNs time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			doCheck(b)
+			t1 := time.Now()
+			if err := tryTraced(); err != nil {
+				b.Fatal(err)
+			}
+			tracedNs += time.Since(t1)
+			plainNs += t1.Sub(t0)
+		}
+		b.ReportMetric(float64(plainNs.Nanoseconds())/float64(b.N), "plain_ns/op")
+		b.ReportMetric(float64(tracedNs.Nanoseconds())/float64(b.N), "traced_ns/op")
+	})
+	trec := toRecord(name+"_cached_traced", traced)
+	// Each benchmark op above is one untraced + one traced request; report
+	// the traced request alone as this record's headline numbers.
+	trec.NsPerOp = trec.Extra["traced_ns/op"]
+	trec.Extra = withExtra(trec.Extra, "req/s", 1e9/trec.NsPerOp)
+	trec.Extra = withExtra(trec.Extra, "trace_overhead",
+		trec.Extra["traced_ns/op"]/trec.Extra["plain_ns/op"]-1)
+	rep.Benchmarks = append(rep.Benchmarks, trec)
 	return rep
 }
 

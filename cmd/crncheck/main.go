@@ -34,9 +34,19 @@
 // checked-inputs counts to stderr without affecting the result.
 //
 // A coordinator serves GET /metrics (lease-table gauges, lease churn,
-// per-rectangle completion latency) on its protocol listener, and
-// -debug-addr adds net/http/pprof on a separate operator-only listener
-// — profiles never share the port workers connect to.
+// per-rectangle completion latency) and GET /debug/traces (the span
+// recorder) on its protocol listener, and -debug-addr adds net/http/pprof
+// plus a second /debug/traces on a separate operator-only listener —
+// profiles never share the port workers connect to.
+//
+// Every mode records spans: local runs open a root span over the grid with
+// engine stage events as children; a coordinator parents lease and merge
+// spans under its job span (continuing the submitter's trace when one is
+// handed over, as crnserve does); a worker parents each rectangle under
+// the lease's traceparent and ships the finished spans back with the
+// result, so one trace id spans submitter, coordinator, and workers.
+// -trace file writes whatever this process recorded as Chrome trace-event
+// JSON at exit — load it in Perfetto or chrome://tracing.
 //
 // Usage:
 //
@@ -65,6 +75,7 @@ import (
 	"crncompose/internal/parse"
 	"crncompose/internal/progress"
 	"crncompose/internal/reach"
+	"crncompose/internal/trace"
 	"crncompose/internal/vec"
 )
 
@@ -102,20 +113,39 @@ func run(args []string, out io.Writer) error {
 		shards     = fs.Int("shards", 0, "coordinator: number of grid rectangles to lease out (0 = 16; more shards than workers keeps the tail balanced)")
 		lease      = fs.Duration("lease", dist.DefaultLeaseTTL, "coordinator: lease TTL before a silent worker's rectangle is reassigned")
 		checkpoint = fs.String("checkpoint", "", "coordinator: checkpoint file; completed rectangles are saved after each result and resumed on restart")
-		debugAddr  = fs.String("debug-addr", "", "coordinator: serve net/http/pprof on a separate listener (host:port); empty disables")
+		debugAddr  = fs.String("debug-addr", "", "coordinator: serve net/http/pprof and /debug/traces on a separate listener (host:port); empty disables")
+		traceFile  = fs.String("trace", "", "write the run's spans to this file as Chrome trace-event JSON (load in Perfetto / chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// One span recorder for whichever mode runs; the process name keys the
+	// Perfetto track and the Proc field on spans a worker ships to its
+	// coordinator.
+	proc := "crncheck"
+	switch {
+	case *joinAddr != "":
+		proc = "crncheck-worker"
+	case *coordAddr != "":
+		proc = "crncheck-coordinator"
+	}
+	tr := trace.New(trace.Options{Proc: proc})
+	if *traceFile != "" {
+		defer func() {
+			if werr := writeTraceFile(*traceFile, tr); werr != nil {
+				fmt.Fprintf(os.Stderr, "crncheck: writing -trace: %v\n", werr)
+			}
+		}()
 	}
 	if *debugAddr != "" {
 		if *coordAddr == "" {
 			return fmt.Errorf("-debug-addr only applies to coordinator mode (-coordinator)")
 		}
-		da, derr := startDebugServer(*debugAddr)
+		da, derr := startDebugServer(*debugAddr, tr)
 		if derr != nil {
 			return fmt.Errorf("debug listener: %w", derr)
 		}
-		fmt.Fprintf(os.Stderr, "crncheck: pprof on %s/debug/pprof/\n", da)
+		fmt.Fprintf(os.Stderr, "crncheck: pprof on %s/debug/pprof/, traces on %s/debug/traces\n", da, da)
 	}
 	// SIGINT/SIGTERM cancel the run: engines unwind at their next
 	// deterministic cancellation point (level barrier / grid chunk) and
@@ -128,7 +158,7 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 	if *joinAddr != "" {
-		return runWorker(ctx, *joinAddr, *workers, *joinGrace, *abortLease)
+		return runWorker(ctx, *joinAddr, *workers, *joinGrace, *abortLease, tr)
 	}
 	if *crnPath == "" || *fname == "" {
 		return fmt.Errorf("need both -crn and -f (or -join addr)")
@@ -176,6 +206,7 @@ func run(args []string, out io.Writer) error {
 			Shards:     *shards,
 			LeaseTTL:   *lease,
 			Checkpoint: *checkpoint,
+			Tracer:     tr,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "crncheck: "+format+"\n", args...)
 			},
@@ -186,11 +217,30 @@ func run(args []string, out io.Writer) error {
 		res, err = co.Run(ctx, *coordAddr)
 	} else {
 		checkOpts := []reach.Option{reach.WithMaxConfigs(*maxConfigs), reach.WithWorkers(*workers)}
+		// Local runs trace too: a root span over the whole grid with engine
+		// stage events as children, so -trace on a plain check yields a
+		// useful Perfetto timeline.
+		root := tr.StartSpan(time.Now(), "crncheck.check", trace.SpanContext{},
+			trace.String("func", *fname))
+		var rep progress.Reporter
 		if *progFlag {
-			checkOpts = append(checkOpts, reach.WithProgress(stderrProgress()))
+			rep = stderrProgress()
+		}
+		tp := trace.NewProgressReporter(tr, time.Now, root.Context())
+		if multi := progress.Multi(rep, tp); multi != nil {
+			checkOpts = append(checkOpts, reach.WithProgress(multi))
 		}
 		res, err = reach.CheckGridCtx(ctx, c, func(x []int64) int64 { return f.Eval(vec.New(x...)) },
 			los, his, checkOpts...)
+		tp.Finish(time.Now())
+		outcome := "ok"
+		switch {
+		case err != nil:
+			outcome = "error"
+		case !res.OK():
+			outcome = "failure"
+		}
+		root.End(time.Now(), trace.String("outcome", outcome))
 	}
 	if err != nil {
 		return err
@@ -211,10 +261,11 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// startDebugServer serves net/http/pprof on its own listener so
-// profiles come from a separate, operator-only port — never the
-// protocol listener workers connect to.
-func startDebugServer(addr string) (net.Addr, error) {
+// startDebugServer serves net/http/pprof and the span recorder on its own
+// listener so profiles and traces come from a separate, operator-only port
+// — never the protocol listener workers connect to. (The coordinator's
+// protocol listener also serves /debug/traces for parity with crnserve.)
+func startDebugServer(addr string, tr *trace.Tracer) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -225,8 +276,21 @@ func startDebugServer(addr string) (net.Addr, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tr != nil {
+		mux.Handle("GET /debug/traces", tr.Handler())
+	}
 	go func() { _ = http.Serve(ln, mux) }()
 	return ln.Addr(), nil
+}
+
+// writeTraceFile dumps every finished span in the ring as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+func writeTraceFile(path string, tr *trace.Tracer) error {
+	b, err := trace.ExportChromeTrace(tr.Snapshot())
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // stderrProgress returns a reporter printing throttled "checked m/n"
@@ -246,12 +310,13 @@ func stderrProgress() progress.Reporter {
 // canceled (a canceled worker abandons its lease without reporting). The
 // function library is resolved locally (core.Library), so worker and
 // coordinator binaries must agree on it.
-func runWorker(ctx context.Context, addr string, workers int, grace time.Duration, abortOnLeaseLoss bool) error {
+func runWorker(ctx context.Context, addr string, workers int, grace time.Duration, abortOnLeaseLoss bool, tr *trace.Tracer) error {
 	w := &dist.Worker{
 		Coordinator:      addr,
 		Workers:          workers,
 		Grace:            grace,
 		AbortOnLeaseLoss: abortOnLeaseLoss,
+		Tracer:           tr,
 		Resolve: func(name string) (reach.Func, error) {
 			f, ok := core.Library()[name]
 			if !ok {

@@ -39,15 +39,20 @@
 //	                    server stops admitting (readyz flips to 503), lets
 //	                    in-flight jobs finish within this budget, cancels
 //	                    the rest, and exits 0 (default 30s)
-//	-debug-addr addr    serve net/http/pprof profiles on a separate
-//	                    listener (host:port); empty disables. Profiles
+//	-debug-addr addr    serve net/http/pprof profiles and the span recorder
+//	                    (GET /debug/traces; ?format=chrome for a
+//	                    Perfetto-loadable trace) on a separate listener
+//	                    (host:port); empty disables. Profiles and traces
 //	                    never share the public listener, so an exposed
-//	                    API port cannot leak heap or CPU profiles
+//	                    API port cannot leak heap profiles or request
+//	                    attributes
+//	-trace-cap n        finished spans kept in the trace ring buffer,
+//	                    oldest evicted beyond it (default 4096)
 //
 // GET /metrics on the public listener renders every operational
 // counter (cache, jobs, per-endpoint latency, engine progress, httpx
-// retries) in the Prometheus text exposition format; see README.md
-// ("Observability").
+// retries, span counts) in the Prometheus text exposition format; see
+// README.md ("Observability").
 //
 // Quickstart:
 //
@@ -74,12 +79,14 @@ import (
 
 	"crncompose/internal/dist"
 	"crncompose/internal/serve"
+	"crncompose/internal/trace"
 )
 
-// startDebugServer serves net/http/pprof on its own listener so
-// profiles come from a separate, operator-only port — never the public
-// API one. Returns the bound address (port 0 picks a free one).
-func startDebugServer(addr string) (net.Addr, error) {
+// startDebugServer serves net/http/pprof — and, when tr is non-nil, the
+// span recorder at /debug/traces — on its own listener so profiles and
+// traces come from a separate, operator-only port — never the public API
+// one. Returns the bound address (port 0 picks a free one).
+func startDebugServer(addr string, tr *trace.Tracer) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -90,6 +97,9 @@ func startDebugServer(addr string) (net.Addr, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tr != nil {
+		mux.Handle("GET /debug/traces", tr.Handler())
+	}
 	go func() { _ = http.Serve(ln, mux) }()
 	return ln.Addr(), nil
 }
@@ -117,17 +127,19 @@ func run(args []string, out io.Writer, ctx context.Context) error {
 		maxJobs   = fs.Int("max-jobs", serve.DefaultMaxJobs, "async jobs executing concurrently (admission budget)")
 		jobTTL    = fs.Duration("job-ttl", serve.DefaultJobTTL, "terminal-job lifetime in the job table (negative disables expiry; done results stay cached)")
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight jobs get this long to finish on SIGINT/SIGTERM before being canceled")
-		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof on a separate listener (host:port); empty disables")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and /debug/traces on a separate listener (host:port); empty disables")
+		traceCap  = fs.Int("trace-cap", trace.DefaultCap, "finished spans kept in the trace ring buffer (oldest evicted beyond it); 0 = default")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tr := trace.New(trace.Options{Proc: "crnserve", Cap: *traceCap})
 	if *debugAddr != "" {
-		da, err := startDebugServer(*debugAddr)
+		da, err := startDebugServer(*debugAddr, tr)
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "crnserve: pprof on %s/debug/pprof/\n", da)
+		fmt.Fprintf(os.Stderr, "crnserve: pprof on %s/debug/pprof/, traces on %s/debug/traces\n", da, da)
 	}
 	s := serve.New(serve.Config{
 		Workers:          *workers,
@@ -139,6 +151,7 @@ func run(args []string, out io.Writer, ctx context.Context) error {
 		CoordinatorGrace: *coGrace,
 		MaxJobs:          *maxJobs,
 		JobTTL:           *jobTTL,
+		Tracer:           tr,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "crnserve: "+format+"\n", args...)
 		},

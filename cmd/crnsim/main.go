@@ -23,9 +23,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"crncompose/internal/parse"
 	"crncompose/internal/sim"
+	"crncompose/internal/trace"
 	"crncompose/internal/vec"
 )
 
@@ -39,17 +41,26 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crnsim", flag.ContinueOnError)
 	var (
-		crnPath  = fs.String("crn", "", "CRN file (or - for stdin)")
-		inputStr = fs.String("x", "", "comma-separated input counts, e.g. 100,80")
-		method   = fs.String("method", "fair", "scheduler: gillespie or fair")
-		trials   = fs.Int("trials", 1, "number of independent trials")
-		seed     = fs.Uint64("seed", 1, "base RNG seed")
-		maxSteps = fs.Int64("maxsteps", 50_000_000, "step budget per trial")
-		silent   = fs.Int64("silent", 0, "convergence after this many output-silent steps (0 = terminal only)")
-		verbose  = fs.Bool("v", false, "print the parsed CRN and per-trial details")
+		crnPath   = fs.String("crn", "", "CRN file (or - for stdin)")
+		inputStr  = fs.String("x", "", "comma-separated input counts, e.g. 100,80")
+		method    = fs.String("method", "fair", "scheduler: gillespie or fair")
+		trials    = fs.Int("trials", 1, "number of independent trials")
+		seed      = fs.Uint64("seed", 1, "base RNG seed")
+		maxSteps  = fs.Int64("maxsteps", 50_000_000, "step budget per trial")
+		silent    = fs.Int64("silent", 0, "convergence after this many output-silent steps (0 = terminal only)")
+		verbose   = fs.Bool("v", false, "print the parsed CRN and per-trial details")
+		traceFile = fs.String("trace", "", "write the run's spans to this file as Chrome trace-event JSON (load in Perfetto / chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	tr := trace.New(trace.Options{Proc: "crnsim"})
+	if *traceFile != "" {
+		defer func() {
+			if werr := writeTraceFile(*traceFile, tr); werr != nil {
+				fmt.Fprintf(os.Stderr, "crnsim: writing -trace: %v\n", werr)
+			}
+		}()
 	}
 	if *crnPath == "" {
 		return fmt.Errorf("missing -crn (use - for stdin)")
@@ -91,7 +102,14 @@ func run(args []string, out io.Writer) error {
 	// identical to the plain Ensemble when uninterrupted).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	sp := tr.StartSpan(time.Now(), "crnsim.ensemble", trace.SpanContext{},
+		trace.String("method", *method), trace.Int("trials", int64(*trials)))
 	results, err := sim.EnsembleCtx(ctx, runner, start, *trials, *seed, opts...)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	sp.End(time.Now(), trace.String("outcome", outcome))
 	if err != nil {
 		return err
 	}
@@ -108,6 +126,16 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "summary: trials=%d converged=%d output[min=%d max=%d mean=%.2f] allEqual=%v medianSteps=%d\n",
 		st.Trials, st.Converged, st.MinOutput, st.MaxOutput, st.MeanOutput, st.AllEqual, st.MedianSteps)
 	return nil
+}
+
+// writeTraceFile dumps every finished span in the ring as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+func writeTraceFile(path string, tr *trace.Tracer) error {
+	b, err := trace.ExportChromeTrace(tr.Snapshot())
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func readAll(path string) (string, error) {

@@ -30,11 +30,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"crncompose/internal/core"
 	"crncompose/internal/reach"
 	"crncompose/internal/semilinear"
 	"crncompose/internal/synth"
+	"crncompose/internal/trace"
 	"crncompose/internal/vec"
 )
 
@@ -57,9 +59,18 @@ func run(args []string, out io.Writer) error {
 		verify     = fs.Int64("verify", -1, "model-check the synthesized CRN on the grid [0,N]^d before emitting it (-1 = off)")
 		workers    = fs.Int("workers", 0, "verification worker pool size; the shared work-stealing pool spans grid inputs and per-input exploration (0 = all CPUs)")
 		maxConfigs = fs.Int("maxconfigs", 1<<20, "verification reachability budget per input")
+		traceFile  = fs.String("trace", "", "write the run's spans to this file as Chrome trace-event JSON (load in Perfetto / chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	tr := trace.New(trace.Options{Proc: "crnsynth"})
+	if *traceFile != "" {
+		defer func() {
+			if werr := writeTraceFile(*traceFile, tr); werr != nil {
+				fmt.Fprintf(os.Stderr, "crnsynth: writing -trace: %v\n", werr)
+			}
+		}()
 	}
 	if *list {
 		fmt.Fprintln(out, strings.Join(core.LibraryNames(), "\n"))
@@ -74,16 +85,29 @@ func run(args []string, out io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	root := tr.StartSpan(time.Now(), "crnsynth.compile", trace.SpanContext{}, trace.String("func", *name))
 	sys, err := core.Compile(f, core.CompileOptions{Bound: *bound, N: *n, Ctx: ctx})
 	if err != nil {
+		root.End(time.Now(), trace.String("outcome", "error"))
 		var nce *synth.NotComputableError
 		if errors.As(err, &nce) && nce.Result.Contradiction != nil {
 			return fmt.Errorf("%w\n%s", err, nce.Result.Contradiction)
 		}
 		return err
 	}
+	root.End(time.Now(), trace.String("outcome", "ok"))
 	if *verify >= 0 {
+		vsp := tr.StartSpan(time.Now(), "crnsynth.verify", trace.SpanContext{},
+			trace.String("func", *name), trace.Int("hi", *verify))
 		res, verr := sys.VerifyCtx(ctx, 0, *verify, reach.WithWorkers(*workers), reach.WithMaxConfigs(*maxConfigs))
+		outcome := "ok"
+		switch {
+		case verr != nil:
+			outcome = "error"
+		case !res.OK():
+			outcome = "failure"
+		}
+		vsp.End(time.Now(), trace.String("outcome", outcome))
 		if verr != nil {
 			return verr
 		}
@@ -100,6 +124,16 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprint(out, sys.Net)
 	return nil
+}
+
+// writeTraceFile dumps every finished span in the ring as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+func writeTraceFile(path string, tr *trace.Tracer) error {
+	b, err := trace.ExportChromeTrace(tr.Snapshot())
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func synthLeaderless(f *semilinear.Func, out io.Writer, stats bool) error {

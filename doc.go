@@ -55,6 +55,15 @@
 //     never reads a clock and the determinism analyzer still catches
 //     engines laundering time.Now through a metrics timer; surfaced at
 //     GET /metrics on crnserve and on the dist coordinator;
+//   - internal/trace: a stdlib-only distributed-tracing recorder — W3C
+//     traceparent ids from an injectable generator, spans in a bounded
+//     ring buffer, deterministic byte-stable JSON export and Chrome
+//     trace-event (Perfetto-loadable) export, GET /debug/traces on the
+//     operator listeners; every span instant comes from the caller
+//     (StartSpan(now)/End(now)), so the package never reads a clock and
+//     sits in the crnlint engine set itself; one trace id follows a
+//     request from the serve root span through the coordinator's lease
+//     spans to worker rectangle spans shipped back with each result;
 //   - internal/faultnet: deterministic seeded fault injection for chaos
 //     tests — RoundTripper and Listener wrappers that refuse, time out,
 //     inject 5xx, slow, or drop-after-commit requests on a pure

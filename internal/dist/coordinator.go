@@ -15,6 +15,7 @@ import (
 	"crncompose/internal/crn"
 	"crncompose/internal/metrics"
 	"crncompose/internal/reach"
+	"crncompose/internal/trace"
 )
 
 // Defaults for CoordinatorConfig zero values.
@@ -58,6 +59,17 @@ type CoordinatorConfig struct {
 	// completion histogram). Nil gets a private registry; inject one to
 	// aggregate coordinator metrics with a host process's.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records the coordinator's spans: a dist.job
+	// root for the whole run, a dist.lease span per grant (ended when the
+	// result lands or the lease expires), a dist.merge span for the final
+	// fold, plus whatever finished spans workers ship with their results.
+	// Inject the host process's tracer (serve does) to see one trace
+	// across the request, the coordinator, and the workers.
+	Tracer *trace.Tracer
+	// TraceContext, when valid, parents the dist.job span — the serving
+	// layer passes the span context of the request or async job that
+	// started this run, stitching the job into that trace.
+	TraceContext trace.SpanContext
 }
 
 type rectStatus int
@@ -71,10 +83,11 @@ const (
 // rectState is the lease-table entry of one rectangle.
 type rectState struct {
 	status   rectStatus
-	worker   string    // current lease holder (status == rectLeased)
-	deadline time.Time // lease expiry (status == rectLeased)
-	leasedAt time.Time // when the current lease was granted (completion histogram)
-	attempts int       // times leased (for /status observability)
+	worker   string      // current lease holder (status == rectLeased)
+	deadline time.Time   // lease expiry (status == rectLeased)
+	leasedAt time.Time   // when the current lease was granted (completion histogram)
+	attempts int         // times leased (for /status observability)
+	span     *trace.Span // open dist.lease span (status == rectLeased; nil untraced)
 	result   reach.GridResult
 	raw      json.RawMessage // wire form of result, for the checkpoint file
 	errMsg   string          // deterministic enumeration error, if any
@@ -91,6 +104,10 @@ type Coordinator struct {
 	ttl    time.Duration
 	now    func() time.Time // injectable for lease tests
 	met    *distMetrics
+	tr     *trace.Tracer
+	// jobSpan is the dist.job root span, open from construction until
+	// checkFinishedLocked; nil when untraced.
+	jobSpan *trace.Span
 
 	mu        sync.Mutex
 	states    []rectState
@@ -166,7 +183,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		doneCh:    make(chan struct{}),
 		closingCh: make(chan struct{}),
 		met:       newDistMetrics(cfg.Metrics),
+		tr:        cfg.Tracer,
 	}
+	hookSpanCounters(co.met.reg, co.tr)
+	// The job root span opens before the checkpoint load: a checkpoint that
+	// already completes the run finishes inside checkFinishedLocked below,
+	// which ends this span.
+	co.jobSpan = co.tr.StartSpan(co.now(), "dist.job", cfg.TraceContext,
+		trace.String("func", cfg.Func),
+		trace.Int("rects", int64(len(rects))))
 	co.mu.Lock()
 	if cfg.Checkpoint != "" {
 		co.loadCheckpointLocked()
@@ -207,11 +232,19 @@ func (co *Coordinator) lease(worker string) LeaseResponse {
 		st.leasedAt = co.now()
 		st.deadline = st.leasedAt.Add(co.ttl)
 		st.attempts++
+		st.span = co.tr.StartSpan(st.leasedAt, "dist.lease", co.jobSpan.Context(),
+			trace.Int("rect", int64(id)),
+			trace.String("worker", worker),
+			trace.Int("attempt", int64(st.attempts)))
 		co.met.leasesGranted.Inc()
 		co.syncRectsLocked()
 		r := co.rects[id]
-		co.logf("lease: rect %d -> %s (attempt %d)", id, worker, st.attempts)
-		return LeaseResponse{Rect: &r, TTLMillis: co.ttl.Milliseconds()}
+		trace.Logf(co.logf, st.span.Context())("lease: rect %d -> %s (attempt %d)", id, worker, st.attempts)
+		return LeaseResponse{
+			Rect:        &r,
+			TTLMillis:   co.ttl.Milliseconds(),
+			Traceparent: st.span.Context().Traceparent(),
+		}
 	}
 	return LeaseResponse{Wait: true}
 }
@@ -333,13 +366,24 @@ func (co *Coordinator) result(req ResultRequest) (ResultResponse, error) {
 		// Lease grant to accepted result, on the coordinator's clock seam.
 		co.met.rectSeconds.ObserveSince(st.leasedAt, co.now())
 	}
+	leaseSC := st.span.Context()
+	st.span.End(co.now(), trace.String("outcome", "ok"))
+	st.span = nil
+	// The worker's finished spans for this rectangle join the coordinator's
+	// ring, so /debug/traces here shows the cross-process trace.
+	for i, d := range req.Spans {
+		if i >= maxShippedSpans {
+			break
+		}
+		co.tr.Record(d)
+	}
 	st.status = rectDone
 	st.worker = req.Worker
 	st.result = res
 	st.raw = req.Result
 	st.errMsg = req.Err
 	co.syncRectsLocked()
-	co.logf("result: rect %d from %s: %v", req.RectID, req.Worker, res)
+	trace.Logf(co.logf, leaseSC)("result: rect %d from %s: %v", req.RectID, req.Worker, res)
 	if co.cfg.Checkpoint != "" {
 		if err := co.saveCheckpointLocked(); err != nil {
 			co.logf("checkpoint: %v", err)
@@ -355,9 +399,11 @@ func (co *Coordinator) sweepLocked() {
 	for id := range co.states {
 		st := &co.states[id]
 		if st.status == rectLeased && st.deadline.Before(now) {
-			co.logf("lease: rect %d expired (held by %s); requeued", id, st.worker)
+			trace.Logf(co.logf, st.span.Context())("lease: rect %d expired (held by %s); requeued", id, st.worker)
 			st.status = rectPending
 			st.worker = ""
+			st.span.End(now, trace.String("outcome", "expired"))
+			st.span = nil
 			co.met.leaseExpired.Inc()
 			co.syncRectsLocked()
 		}
@@ -391,7 +437,19 @@ func (co *Coordinator) checkFinishedLocked() {
 			return
 		}
 	}
+	mergeStart := co.now()
 	co.merged, co.mergedErr = co.mergeLocked()
+	mergeEnd := co.now()
+	co.tr.StartSpan(mergeStart, "dist.merge", co.jobSpan.Context()).End(mergeEnd,
+		trace.Int("checked", int64(co.merged.Checked)))
+	outcome := "ok"
+	switch {
+	case co.mergedErr != nil:
+		outcome = "error"
+	case co.merged.Failure != nil:
+		outcome = "failure"
+	}
+	co.jobSpan.End(mergeEnd, trace.String("outcome", outcome))
 	co.finished = true
 	close(co.doneCh)
 }
@@ -459,6 +517,9 @@ func (co *Coordinator) Handler() http.Handler {
 		writeJSON(w, co.status())
 	})
 	mux.Handle("GET /metrics", co.met.reg.Handler())
+	if co.tr != nil {
+		mux.Handle("GET /debug/traces", co.tr.Handler())
+	}
 	return mux
 }
 

@@ -1,6 +1,9 @@
 package dist
 
-import "crncompose/internal/metrics"
+import (
+	"crncompose/internal/metrics"
+	"crncompose/internal/trace"
+)
 
 // distMetrics bundles the coordinator's observability families,
 // rendered by GET /metrics on the coordinator's own listener:
@@ -57,6 +60,32 @@ func newDistMetrics(reg *metrics.Registry) *distMetrics {
 	m.rectSeconds = reg.Histogram("crn_dist_rect_completion_seconds",
 		"Time from lease grant to accepted result, per rectangle.", rectBuckets)
 	return m
+}
+
+// hookSpanCounters surfaces the tracer's recording activity as metrics:
+//
+//	crn_trace_spans_total          counter — spans recorded into the ring
+//	crn_trace_spans_dropped_total  counter — recordings that evicted an
+//	    older span (the ring overflowed; old traces may be incomplete)
+//
+// Registering the same family names on a shared registry is idempotent,
+// and SetOnSpan replaces any previous hook, so a coordinator sharing its
+// tracer and registry with a host process (serve does both) counts each
+// span exactly once. Nil-safe on both arguments.
+func hookSpanCounters(reg *metrics.Registry, tr *trace.Tracer) {
+	if reg == nil || tr == nil {
+		return
+	}
+	spans := reg.Counter("crn_trace_spans_total",
+		"Spans recorded into the trace ring buffer.")
+	droppedC := reg.Counter("crn_trace_spans_dropped_total",
+		"Span recordings that evicted an older span (ring overflow).")
+	tr.SetOnSpan(func(dropped bool) {
+		spans.Inc()
+		if dropped {
+			droppedC.Inc()
+		}
+	})
 }
 
 // syncRectsLocked recomputes the lease-table gauges from the states

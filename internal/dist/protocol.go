@@ -60,7 +60,11 @@
 //     rectangle instead of finishing work it no longer owns.
 package dist
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"crncompose/internal/trace"
+)
 
 // ProtocolVersion is bumped on any incompatible change to the wire types or
 // the checkpoint format. Workers reject jobs with a different version.
@@ -103,11 +107,20 @@ type LeaseRequest struct {
 
 // LeaseResponse grants a rectangle under a lease, asks the worker to poll
 // again later (Wait), or tells it the job is finished (Done).
+//
+// Traceparent, when set on a grant, is the W3C trace context of the
+// coordinator's per-lease span; a tracing worker parents its rectangle span
+// under it, which is how one trace id spans submitter, coordinator, and
+// worker. It rides the lease response — NOT JobSpec, whose JSON is hashed
+// into the checkpoint compatibility key, so adding a per-run trace id there
+// would orphan every existing checkpoint. Additive and omitempty: old
+// workers ignore it, old coordinators never send it.
 type LeaseResponse struct {
-	Done      bool  `json:"done,omitempty"`
-	Wait      bool  `json:"wait,omitempty"`
-	Rect      *Rect `json:"rect,omitempty"`
-	TTLMillis int64 `json:"ttl_ms,omitempty"`
+	Done        bool   `json:"done,omitempty"`
+	Wait        bool   `json:"wait,omitempty"`
+	Rect        *Rect  `json:"rect,omitempty"`
+	TTLMillis   int64  `json:"ttl_ms,omitempty"`
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // RenewRequest extends a lease while a long rectangle is being checked.
@@ -131,12 +144,21 @@ type RenewResponse struct {
 // includes them, exactly as a local CheckGrid returns partial counts with
 // its error. An Err-only report (no Result) is accepted but loses those
 // partial counts; don't send one.
+// Spans carries the worker's finished spans for the rectangle's trace
+// (the rectangle-compute span and its children), so the coordinator's
+// /debug/traces shows the whole cross-process trace. Additive and bounded:
+// the coordinator records at most maxShippedSpans per report.
 type ResultRequest struct {
-	Worker string          `json:"worker"`
-	RectID int             `json:"rect_id"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Err    string          `json:"err,omitempty"`
+	Worker string           `json:"worker"`
+	RectID int              `json:"rect_id"`
+	Result json.RawMessage  `json:"result,omitempty"`
+	Err    string           `json:"err,omitempty"`
+	Spans  []trace.SpanData `json:"spans,omitempty"`
 }
+
+// maxShippedSpans bounds how many spans one result report may carry (both
+// sides enforce it: the worker truncates, the coordinator ignores the rest).
+const maxShippedSpans = 64
 
 // ResultResponse acknowledges a result report.
 type ResultResponse struct {

@@ -15,6 +15,7 @@ import (
 	"crncompose/internal/httpx"
 	"crncompose/internal/parse"
 	"crncompose/internal/reach"
+	"crncompose/internal/trace"
 )
 
 // ErrCoordinatorLost is returned by Worker.Run when a coordinator that the
@@ -76,6 +77,13 @@ type Worker struct {
 	Client *http.Client
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records a dist.rect span per leased rectangle
+	// — parented under the coordinator's lease span via the traceparent
+	// carried in the lease response, so the rectangle joins the submitting
+	// request's trace — plus per-attempt httpx client spans for renew and
+	// result calls. The rectangle trace's spans are shipped to the
+	// coordinator with the result report.
+	Tracer *trace.Tracer
 
 	// LeaseHook, when non-nil, runs right after a lease is granted; a
 	// non-nil error kills the worker mid-rectangle without reporting — how
@@ -137,6 +145,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		Budget:      joinTimeout,
 		BaseDelay:   poll,
 		MaxDelay:    time.Second,
+		Tracer:      w.Tracer,
 	}
 	var job JobSpec
 	if err := joinC.GetJSON(ctx, base+"/job", &job); err != nil {
@@ -176,6 +185,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		MaxAttempts: 3,
 		BaseDelay:   poll,
 		MaxDelay:    time.Second,
+		Tracer:      w.Tracer,
 	}
 	var downSince time.Time
 	for {
@@ -238,17 +248,38 @@ func (w *Worker) Run(ctx context.Context) error {
 // dropped: the lease expires and the rectangle is recomputed elsewhere.
 func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name string, grace time.Duration, c *crn.CRN, f reach.Func, rect Rect, lr LeaseResponse, opts []reach.Option) error {
 	ttl := time.Duration(lr.TTLMillis) * time.Millisecond
+	// The lease response's traceparent stitches this rectangle into the
+	// trace that submitted the job: the rectangle-compute span is a child of
+	// the coordinator's lease span. An absent/garbled traceparent (old
+	// coordinator, tracing off there) just starts a local trace.
+	var leaseSC trace.SpanContext
+	if lr.Traceparent != "" {
+		leaseSC, _ = trace.ParseTraceparent(lr.Traceparent)
+	}
+	rectSpan := w.Tracer.StartSpan(time.Now(), "dist.rect", leaseSC,
+		trace.Int("rect", int64(rect.ID)),
+		trace.String("worker", name))
+	// Every rectangle-scoped log line carries the trace and span ids, so a
+	// worker's interleaved output greps apart by rectangle and joins against
+	// /debug/traces on the coordinator. With tracing off this is w.logf.
+	logf := trace.Logf(w.logf, rectSpan.Context())
 	// rctx is what the engine runs under; with AbortOnLeaseLoss the
-	// heartbeat cancels it when the coordinator says the lease is gone.
-	rctx, rcancel := ctx, context.CancelFunc(func() {})
+	// heartbeat cancels it when the coordinator says the lease is gone. It
+	// also carries the rectangle span so the heartbeat's renew attempts
+	// trace as its children.
+	rctx, rcancel := trace.ContextSpan(ctx, rectSpan), context.CancelFunc(func() {})
 	if w.AbortOnLeaseLoss {
-		rctx, rcancel = context.WithCancel(ctx)
+		rctx, rcancel = context.WithCancel(rctx)
 	}
 	defer rcancel()
 	stop := make(chan struct{})
 	var hb sync.WaitGroup
 	if ttl > 0 {
 		hb.Add(1)
+		// hbctx parents the renew attempts under the rectangle span without
+		// inheriting rctx's AbortOnLeaseLoss cancelation: the renew that
+		// discovers the loss must itself complete.
+		hbctx := trace.ContextSpan(ctx, rectSpan)
 		go func() {
 			defer hb.Done()
 			renewC := &httpx.Client{
@@ -256,6 +287,7 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 				MaxAttempts: 2,
 				BaseDelay:   w.pollInterval(),
 				MaxDelay:    max(ttl/3, time.Millisecond),
+				Tracer:      w.Tracer,
 			}
 			// Renew failures are expected during a coordinator restart, so
 			// they must not kill the worker — but they must not be silent
@@ -272,25 +304,25 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 					return
 				case <-t.C:
 					var rr RenewResponse
-					err := renewC.PostJSON(ctx, base+"/renew", RenewRequest{Worker: name, RectID: rect.ID}, &rr)
+					err := renewC.PostJSON(hbctx, base+"/renew", RenewRequest{Worker: name, RectID: rect.ID}, &rr)
 					switch {
 					case err != nil:
 						failures++
 						if failures == nextLog {
-							w.logf("worker %s: renewing lease on rect %d failing (%d consecutive): %v", name, rect.ID, failures, err)
+							logf("worker %s: renewing lease on rect %d failing (%d consecutive): %v", name, rect.ID, failures, err)
 							nextLog *= 2
 						}
 					case !rr.OK:
 						if w.AbortOnLeaseLoss {
-							w.logf("worker %s: lost lease on rect %d; aborting in-flight check", name, rect.ID)
+							logf("worker %s: lost lease on rect %d; aborting in-flight check", name, rect.ID)
 							rcancel()
 							return
 						}
-						w.logf("worker %s: lost lease on rect %d (still computing; duplicate result is harmless)", name, rect.ID)
+						logf("worker %s: lost lease on rect %d (still computing; duplicate result is harmless)", name, rect.ID)
 						failures, nextLog = 0, 1
 					default:
 						if failures > 0 {
-							w.logf("worker %s: lease renewal on rect %d recovered after %d failures", name, rect.ID, failures)
+							logf("worker %s: lease renewal on rect %d recovered after %d failures", name, rect.ID, failures)
 						}
 						failures, nextLog = 0, 1
 					}
@@ -298,7 +330,7 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 			}
 		}()
 	}
-	w.logf("worker %s: checking rect %d %v..%v", name, rect.ID, rect.Lo, rect.Hi)
+	logf("worker %s: checking rect %d %v..%v", name, rect.ID, rect.Lo, rect.Hi)
 	res, rerr := reach.CheckRectCtx(rctx, c, f, rect.Lo, rect.Hi, opts...)
 	close(stop)
 	hb.Wait()
@@ -307,14 +339,25 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 	// returned no verdicts, the heartbeat above has stopped, and the lease
 	// simply expires so the coordinator reassigns the rectangle elsewhere.
 	if ctx.Err() != nil {
+		rectSpan.End(time.Now(), trace.String("outcome", "canceled"))
 		return ctx.Err()
 	}
 	if rctx.Err() != nil {
 		// Fenced out with AbortOnLeaseLoss: the rectangle belongs to another
 		// worker now, so abandon it and go lease the next one.
-		w.logf("worker %s: abandoned rect %d after lease loss", name, rect.ID)
+		rectSpan.End(time.Now(), trace.String("outcome", "fenced"))
+		logf("worker %s: abandoned rect %d after lease loss", name, rect.ID)
 		return nil
 	}
+	outcome := "ok"
+	switch {
+	case rerr != nil:
+		outcome = "error"
+	case res.Failure != nil:
+		outcome = "failure"
+	}
+	rectSpan.End(time.Now(), trace.String("outcome", outcome),
+		trace.Int("checked", int64(res.Checked)))
 
 	req := ResultRequest{Worker: name, RectID: rect.ID}
 	raw, err := json.Marshal(res)
@@ -324,6 +367,21 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 	req.Result = raw
 	if rerr != nil {
 		req.Err = rerr.Error()
+	}
+	// Ship this rectangle's finished spans (the dist.rect span and the renew
+	// attempts under it) with the report — collected before the post, so the
+	// result attempt spans themselves stay in the worker's own ring. Only the
+	// rect span's own subtree ships: the trace also holds earlier rectangles'
+	// spans (one job fans out many leases to one worker), and re-shipping
+	// those would duplicate them in the coordinator's ring.
+	if rectSpan != nil {
+		spans := spanSubtree(
+			w.Tracer.TraceSpans(rectSpan.Context().TraceID.String()),
+			rectSpan.Context().SpanID.String())
+		if len(spans) > maxShippedSpans {
+			spans = spans[len(spans)-maxShippedSpans:]
+		}
+		req.Spans = spans
 	}
 	// The coordinator accepts duplicate and stale reports idempotently, so
 	// the post may be retried freely — including after a dropped-response
@@ -335,13 +393,14 @@ func (w *Worker) checkRect(ctx context.Context, client *http.Client, base, name 
 		Budget:      grace,
 		BaseDelay:   w.pollInterval(),
 		MaxDelay:    time.Second,
+		Tracer:      w.Tracer,
 	}
 	var ack ResultResponse
-	if err := resultC.PostJSON(ctx, base+"/result", req, &ack); err != nil {
+	if err := resultC.PostJSON(trace.ContextSpan(ctx, rectSpan), base+"/result", req, &ack); err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		w.logf("worker %s: dropping result for rect %d (%v); lease will expire", name, rect.ID, err)
+		logf("worker %s: dropping result for rect %d (%v); lease will expire", name, rect.ID, err)
 	}
 	return nil
 }
@@ -361,4 +420,27 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	case <-ctx.Done():
 	case <-t.C:
 	}
+}
+
+// spanSubtree filters spans down to root and its descendants (by
+// parent-span-id links). Fixpoint iteration because a child span ends — and
+// is recorded — before its parent, so record order is not topological.
+func spanSubtree(spans []trace.SpanData, root string) []trace.SpanData {
+	in := map[string]bool{root: true}
+	for grew := true; grew; {
+		grew = false
+		for _, d := range spans {
+			if !in[d.SpanID] && in[d.Parent] {
+				in[d.SpanID] = true
+				grew = true
+			}
+		}
+	}
+	var out []trace.SpanData
+	for _, d := range spans {
+		if in[d.SpanID] {
+			out = append(out, d)
+		}
+	}
+	return out
 }

@@ -34,6 +34,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"crncompose/internal/trace"
 )
 
 // Defaults for Client zero values.
@@ -83,6 +85,13 @@ type Client struct {
 	// histograms plus a give-up counter on a shared metrics registry.
 	// Nil-safe like Logf: the zero Client records nothing.
 	Metrics *Metrics
+	// Tracer, when non-nil, opens one client span per attempt (named
+	// "httpx.attempt", with method/url/attempt/outcome attributes),
+	// parented under the span context carried by the call's ctx. Whether
+	// or not a tracer is set, an active context is propagated to the
+	// server as a W3C traceparent header on every attempt — the link that
+	// stitches one trace across processes.
+	Tracer *trace.Tracer
 }
 
 // StatusError is a non-2xx HTTP response, carrying enough of the reply to
@@ -189,11 +198,29 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, ou
 	if c.Budget > 0 {
 		deadline = time.Now().Add(c.Budget)
 	}
+	// parent is the span context carried by the caller's ctx; it parents
+	// the per-attempt client spans and is the traceparent sent when no
+	// tracer is configured. traceTag lands in every retry/give-up log line
+	// so a trace ID in the logs can be looked up in /debug/traces.
+	parent := trace.FromContext(ctx)
+	var traceTag string
+	if parent.Valid() {
+		traceTag = " trace=" + parent.TraceID.String()
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		attemptStart := time.Now()
-		err := c.attempt(ctx, httpc, method, url, body, out)
+		sp := c.Tracer.StartSpan(attemptStart, "httpx.attempt", parent,
+			trace.String("method", method),
+			trace.String("url", url),
+			trace.Int("attempt", int64(attempt+1)))
+		hdr := parent
+		if sp != nil {
+			hdr = sp.Context()
+		}
+		err := c.attempt(ctx, httpc, method, url, body, out, hdr)
 		elapsed := time.Since(attemptStart)
+		endAttemptSpan(sp, attemptStart.Add(elapsed), err)
 		c.Metrics.recordAttempt(method, elapsed, err)
 		if err == nil {
 			return nil
@@ -210,8 +237,8 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, ou
 		if maxAttempts > 0 && attempt+1 >= maxAttempts {
 			c.Metrics.recordGiveUp(method)
 			if c.Logf != nil {
-				c.Logf("httpx: %s %s giving up after %d attempts (last attempt took %s, status %d): %v",
-					method, url, attempt+1, elapsed, StatusCode(lastErr), lastErr)
+				c.Logf("httpx: %s %s giving up after %d attempts (last attempt took %s, status %d)%s: %v",
+					method, url, attempt+1, elapsed, StatusCode(lastErr), traceTag, lastErr)
 			}
 			return fmt.Errorf("httpx: %s %s failed after %d attempts: %w", method, url, attempt+1, lastErr)
 		}
@@ -219,13 +246,13 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, ou
 		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
 			c.Metrics.recordGiveUp(method)
 			if c.Logf != nil {
-				c.Logf("httpx: %s %s giving up, retry budget %s exhausted after %d attempts (last attempt took %s, status %d): %v",
-					method, url, c.Budget, attempt+1, elapsed, StatusCode(lastErr), lastErr)
+				c.Logf("httpx: %s %s giving up, retry budget %s exhausted after %d attempts (last attempt took %s, status %d)%s: %v",
+					method, url, c.Budget, attempt+1, elapsed, StatusCode(lastErr), traceTag, lastErr)
 			}
 			return fmt.Errorf("httpx: %s %s: retry budget %s exhausted after %d attempts: %w", method, url, c.Budget, attempt+1, lastErr)
 		}
 		if c.Logf != nil {
-			c.Logf("httpx: %s %s attempt %d failed in %s: %v (retrying in %s)", method, url, attempt+1, elapsed, err, d)
+			c.Logf("httpx: %s %s attempt %d failed in %s: %v (retrying in %s)%s", method, url, attempt+1, elapsed, err, d, traceTag)
 		}
 		if !sleepCtx(ctx, d) {
 			return fmt.Errorf("httpx: %s %s: %w", method, url, ctx.Err())
@@ -233,8 +260,30 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, ou
 	}
 }
 
-// attempt performs one request/response cycle.
-func (c *Client) attempt(ctx context.Context, httpc *http.Client, method, url string, body []byte, out any) error {
+// endAttemptSpan closes a per-attempt client span with its classified
+// outcome: "ok", "retryable" (the loop will back off and try again unless
+// the budget trips), or "fatal" (a non-retryable rejection). Nil-safe.
+func endAttemptSpan(sp *trace.Span, end time.Time, err error) {
+	if sp == nil {
+		return
+	}
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case Retryable(err):
+		outcome = "retryable"
+	default:
+		outcome = "fatal"
+	}
+	if code := StatusCode(err); code != 0 {
+		sp.SetAttr("status", fmt.Sprintf("%d", code))
+	}
+	sp.End(end, trace.String("outcome", outcome))
+}
+
+// attempt performs one request/response cycle. A valid sc is sent as the
+// W3C traceparent header so the server joins the caller's trace.
+func (c *Client) attempt(ctx context.Context, httpc *http.Client, method, url string, body []byte, out any, sc trace.SpanContext) error {
 	actx := ctx
 	if c.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -251,6 +300,9 @@ func (c *Client) attempt(ctx context.Context, httpc *http.Client, method, url st
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
 	}
 	resp, err := httpc.Do(req)
 	if err != nil {

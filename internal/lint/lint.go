@@ -77,10 +77,13 @@ var Analyzers = []*Analyzer{
 // they produce must be a pure function of their inputs. The determinism
 // and errwrap analyzers apply to exactly this set; mapiter additionally
 // covers internal/dist, whose merged results carry the same byte-identity
-// promise.
+// promise. internal/trace is in the set even though it is not an engine:
+// its whole API takes caller-owned instants (StartSpan(now)/End(now)), and
+// keeping it here guarantees the package itself never grows a clock read —
+// so an engine can never launder time.Now through a span.
 var enginePackages = []string{
 	"reach", "sim", "classify", "synth", "core", "crn",
-	"vec", "compose", "semilinear", "parse", "randfunc",
+	"vec", "compose", "semilinear", "parse", "randfunc", "trace",
 }
 
 // hasInternalSuffix reports whether path ends in "internal/<name>", the

@@ -1,0 +1,21 @@
+// Wall-clock laundering through the tracing layer: trace.StartSpan and
+// Span.End take caller-owned instants (the trace package never reads a
+// clock), so the only way an engine stamps spans with wall time is by
+// passing time.Now at the call site — where the analyzer still sees the
+// reference.
+package reach
+
+import (
+	"time"
+
+	"example.com/fix/internal/trace"
+)
+
+// TracedExplore tries to smuggle the wall clock into an engine through the
+// span seam. Both references are flagged even though the engine never
+// reads the clock value itself.
+func TracedExplore(budget int) int {
+	sp := trace.StartSpan(time.Now(), "reach.explore") // want `time\.Now in engine package reach`
+	defer func() { sp.End(time.Now()) }()              // want `time\.Now in engine package reach`
+	return Explore(budget)
+}

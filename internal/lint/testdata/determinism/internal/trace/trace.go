@@ -1,0 +1,32 @@
+// Package trace mirrors the real internal/trace caller-owned-clock API.
+// It sits inside the engine set itself (so the analyzer checks that the
+// package never reads a clock — this stand-in is clean), and its
+// span-instant parameters are the seam the analyzer guards at engine call
+// sites: see internal/reach/spans.go for an engine caught passing time.Now
+// into StartSpan and End.
+package trace
+
+import "time"
+
+// Span is a minimal stand-in for the real in-flight span.
+type Span struct {
+	name  string
+	start time.Time
+	end   time.Time
+}
+
+// StartSpan opens a span at the caller-supplied instant. The now parameter
+// is the determinism seam: this package never calls time.Now, so the only
+// way an engine result picks up the wall clock is an engine passing it
+// here — where the analyzer still sees the reference.
+func StartSpan(now time.Time, name string) *Span {
+	return &Span{name: name, start: now}
+}
+
+// End closes the span at the caller-supplied instant.
+func (s *Span) End(now time.Time) {
+	if s == nil {
+		return
+	}
+	s.end = now
+}

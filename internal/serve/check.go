@@ -3,11 +3,14 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"crncompose/internal/core"
 	"crncompose/internal/crn"
 	"crncompose/internal/parse"
+	"crncompose/internal/progress"
 	"crncompose/internal/reach"
+	"crncompose/internal/trace"
 	"crncompose/internal/vec"
 )
 
@@ -135,14 +138,15 @@ func resolveCheck(req CheckRequest) (*checkJob, error) {
 }
 
 // runCheckGrid runs the job's whole grid on the in-process engine and
-// encodes the result in the canonical crncheck -json form.
-func (s *Server) runCheckGrid(j *checkJob) (cached, error) {
+// encodes the result in the canonical crncheck -json form. Engine stage
+// events trace as children of parent via the progress adapter.
+func (s *Server) runCheckGrid(j *checkJob, rep progress.Reporter) (cached, error) {
 	s.computed("check")
 	res, err := reach.CheckGrid(j.c, j.f, j.cc.Lo, j.cc.Hi,
 		reach.WithMaxConfigs(j.cc.MaxConfigs),
 		reach.WithMaxCount(j.cc.MaxCount),
 		reach.WithWorkers(s.cfg.Workers),
-		reach.WithProgress(s.progressReporter()))
+		reach.WithProgress(rep))
 	if err != nil {
 		// A deterministic enumeration error (the CLI exits without JSON):
 		// reported, never cached.
@@ -180,17 +184,32 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if val, ok := s.cache.get(j.key); ok {
+	sc := trace.FromContext(r.Context())
+	lookupStart := time.Now()
+	val, ok := s.cache.get(j.key)
+	if s.tr != nil {
+		outcome := "miss"
+		if ok {
+			outcome = "hit"
+		}
+		s.tr.StartSpan(lookupStart, "serve.cache.lookup", sc).End(time.Now(),
+			trace.String("outcome", outcome))
+	}
+	if ok {
 		writeCached(w, val, cacheHit)
 		return
 	}
 	if j.gridPoints() > s.cfg.SyncGridLimit {
-		jb := s.jobs.getOrCreate(j, s)
+		jb := s.jobs.getOrCreate(j, s, sc)
 		w.Header().Set("Location", "/v1/jobs/"+jb.id)
 		writeJSON(w, http.StatusAccepted, s.jobs.status(jb))
 		return
 	}
-	val, source, err := s.cache.do(j.key, func() (cached, error) { return s.runCheckGrid(j) })
+	val, source, err := s.cacheDo(r.Context(), "check", j.key, func() (cached, error) {
+		rep, finish := s.reporterFor(sc)
+		defer finish()
+		return s.runCheckGrid(j, rep)
+	})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return

@@ -10,6 +10,7 @@ import (
 
 	"crncompose/internal/dist"
 	"crncompose/internal/reach"
+	"crncompose/internal/trace"
 )
 
 // Async grid jobs. A job is a whole /v1/check computation too large for a
@@ -79,6 +80,15 @@ type asyncJob struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// parent is the span context of the submitting request (zero when that
+	// request was untraced) and submittedAt the admission instant — together
+	// they let the runner open a serve.job span that covers queue wait plus
+	// execution, in the submitter's trace. span is that open span; it is set
+	// by runJob before execution and read only on the runner goroutine.
+	parent      trace.SpanContext
+	submittedAt time.Time
+	span        *trace.Span
+
 	state          string
 	rects          int
 	rectsDone      int
@@ -114,13 +124,18 @@ func newJobTable() *jobTable {
 // replaced by a fresh submission — failures (a full queue, a coordinator
 // that could not bind, an enumeration error) and cancellations must not
 // poison the content address for the server's lifetime.
-func (jt *jobTable) getOrCreate(j *checkJob, s *Server) *asyncJob {
+func (jt *jobTable) getOrCreate(j *checkJob, s *Server, parent trace.SpanContext) *asyncJob {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	if jb, ok := jt.jobs[j.key]; ok && jb.state != jobFailed && jb.state != jobCanceled {
+		// Identical re-submissions attach to the existing job; the first
+		// submitter's trace keeps it.
 		return jb
 	}
-	jb := &asyncJob{id: j.key, check: j, state: jobQueued, done: make(chan struct{})}
+	jb := &asyncJob{
+		id: j.key, check: j, state: jobQueued, done: make(chan struct{}),
+		parent: parent, submittedAt: jt.now(),
+	}
 	base := s.baseCtx
 	if base == nil { // bare Server in table-level tests
 		base = context.Background()
@@ -262,6 +277,13 @@ func (s *Server) runJobs() {
 // response cache. A job canceled before or during execution lands in
 // "canceled" with no partial result.
 func (s *Server) runJob(jb *asyncJob) {
+	// The serve.job span opens at the admission instant, so it covers queue
+	// wait plus execution; the admission child makes the wait visible on its
+	// own. Both live in the submitting request's trace (jb.parent).
+	runStart := time.Now()
+	jb.span = s.tr.StartSpan(jb.submittedAt, "serve.job", jb.parent,
+		trace.String("job", jb.id[:min(12, len(jb.id))]))
+	s.tr.StartSpan(jb.submittedAt, "serve.job.admission", jb.span.Context()).End(runStart)
 	var body []byte
 	var err error
 	if err = jb.ctx.Err(); err == nil {
@@ -288,10 +310,15 @@ func (s *Server) runJob(jb *asyncJob) {
 	}
 	s.met.jobTransition(from, jb.state)
 	jb.finishedAt = s.jobs.now()
+	terminal := jb.state
+	degraded := jb.degraded
 	s.jobs.mu.Unlock()
+	jb.span.End(time.Now(),
+		trace.String("state", terminal),
+		trace.Bool("degraded", degraded))
 	jb.cancel()
 	close(jb.done)
-	s.logf("job %.12s…: %s", jb.id, jb.state)
+	trace.Logf(s.logf, jb.span.Context())("job %.12s…: %s", jb.id, terminal)
 }
 
 // runJobLocal checks the grid rectangle by rectangle on the in-process
@@ -322,14 +349,24 @@ func (s *Server) runJobLocal(jb *asyncJob) ([]byte, error) {
 
 	var out reach.GridResult
 	for _, r := range rects {
+		rectSpan := s.tr.StartSpan(time.Now(), "serve.rect", jb.span.Context(),
+			trace.Int("rect", int64(r.ID)))
+		rep, finish := s.reporterFor(rectSpan.Context())
 		res, err := reach.CheckRectCtx(jb.ctx, jb.check.c, jb.check.f, r.Lo, r.Hi,
 			reach.WithMaxConfigs(cc.MaxConfigs),
 			reach.WithMaxCount(cc.MaxCount),
 			reach.WithWorkers(s.cfg.Workers),
-			reach.WithProgress(s.progressReporter()))
+			reach.WithProgress(rep))
+		finish()
 		if err != nil {
+			rectSpan.End(time.Now(), trace.String("outcome", "error"))
 			return nil, err
 		}
+		rectOutcome := "ok"
+		if res.Failure != nil {
+			rectOutcome = "failure"
+		}
+		rectSpan.End(time.Now(), trace.String("outcome", rectOutcome))
 		out.Checked += res.Checked
 		out.Inconclusive += res.Inconclusive
 		out.Explored += res.Explored
@@ -372,6 +409,12 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 		LeaseTTL:   s.cfg.LeaseTTL,
 		Logf:       s.cfg.Logf,
 		Metrics:    s.cfg.Metrics,
+		// The coordinator shares this server's tracer and parents its
+		// dist.job span under the serve.job span, so /debug/traces here
+		// shows one trace from the submitting request through the workers'
+		// rectangle spans (shipped back with their results).
+		Tracer:       s.tr,
+		TraceContext: jb.span.Context(),
 	})
 	if err != nil {
 		// A coordinator the job spec itself cannot configure would fail the
@@ -449,14 +492,18 @@ func (s *Server) runJobDist(jb *asyncJob) ([]byte, error) {
 // body comes out byte-identical by the determinism contract shared between
 // runJobLocal and the coordinator's merge.
 func (s *Server) degradeJob(jb *asyncJob, reason string) ([]byte, error) {
-	s.logf("job %.12s…: degrading to local execution: %s", jb.id, reason)
+	trace.Logf(s.logf, jb.span.Context())("job %.12s…: degrading to local execution: %s", jb.id, reason)
 	s.met.degraded()
 	s.jobs.mu.Lock()
 	jb.degraded = true
 	jb.degradedReason = reason
 	jb.rectsDone = 0
 	s.jobs.mu.Unlock()
-	return s.runJobLocal(jb)
+	sp := s.tr.StartSpan(time.Now(), "serve.degrade", jb.span.Context(),
+		trace.String("reason", reason))
+	body, err := s.runJobLocal(jb)
+	sp.End(time.Now())
+	return body, err
 }
 
 // handleJobSubmit serves POST /v1/jobs: the body is a CheckRequest; the
@@ -477,7 +524,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	jb := s.jobs.getOrCreate(j, s)
+	jb := s.jobs.getOrCreate(j, s, trace.FromContext(r.Context()))
 	w.Header().Set("Location", "/v1/jobs/"+jb.id)
 	writeJSON(w, http.StatusAccepted, s.jobs.status(jb))
 }

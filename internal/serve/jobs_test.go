@@ -13,6 +13,7 @@ import (
 	"crncompose/internal/core"
 	"crncompose/internal/dist"
 	"crncompose/internal/reach"
+	"crncompose/internal/trace"
 	"crncompose/internal/vec"
 )
 
@@ -177,12 +178,12 @@ func TestFailedJobRetried(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jb := s.jobs.getOrCreate(j, s)
+	jb := s.jobs.getOrCreate(j, s, trace.SpanContext{})
 	s.jobs.mu.Lock()
 	jb.state = jobFailed
 	jb.errMsg = "boom"
 	s.jobs.mu.Unlock()
-	jb2 := s.jobs.getOrCreate(j, s)
+	jb2 := s.jobs.getOrCreate(j, s, trace.SpanContext{})
 	if jb2 == jb {
 		t.Fatal("failed job was reused instead of retried")
 	}
@@ -192,7 +193,7 @@ func TestFailedJobRetried(t *testing.T) {
 	s.jobs.mu.Lock()
 	jb2.state = jobDone
 	s.jobs.mu.Unlock()
-	if s.jobs.getOrCreate(j, s) != jb2 {
+	if s.jobs.getOrCreate(j, s, trace.SpanContext{}) != jb2 {
 		t.Fatal("done job was not reused")
 	}
 }

@@ -3,11 +3,13 @@ package serve
 import (
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"crncompose/internal/httpx"
 	"crncompose/internal/metrics"
 	"crncompose/internal/progress"
+	"crncompose/internal/trace"
 )
 
 // serveMetrics bundles every family the server registers on its
@@ -142,6 +144,43 @@ func (s *Server) progressReporter() progress.Reporter {
 	return s.met.progress
 }
 
+// reporterFor tees the metrics progress adapter with a tracing one that
+// turns engine stage events into child spans of parent. finish must be
+// called once the engine run completes — it ends the open stage spans; it
+// is safe to call when tracing is off. The engines themselves never see a
+// clock or a span: stage timestamps come from this layer's clock via the
+// adapter (the caller-owned-clock contract).
+func (s *Server) reporterFor(parent trace.SpanContext) (rep progress.Reporter, finish func()) {
+	base := s.progressReporter()
+	tp := trace.NewProgressReporter(s.tr, time.Now, parent)
+	if tp == nil {
+		return base, func() {}
+	}
+	return progress.Multi(base, tp), func() { tp.Finish(time.Now()) }
+}
+
+// hookSpanCounters surfaces the tracer's recording activity on the scrape:
+// crn_trace_spans_total counts spans recorded into the ring,
+// crn_trace_spans_dropped_total the recordings that evicted an older span.
+// Same families and same replace-not-append SetOnSpan semantics as the dist
+// coordinator's hook, so sharing one tracer and registry between serve and
+// an in-process coordinator counts each span exactly once. Nil-safe.
+func hookSpanCounters(reg *metrics.Registry, tr *trace.Tracer) {
+	if reg == nil || tr == nil {
+		return
+	}
+	spans := reg.Counter("crn_trace_spans_total",
+		"Spans recorded into the trace ring buffer.")
+	droppedC := reg.Counter("crn_trace_spans_dropped_total",
+		"Span recordings that evicted an older span (ring overflow).")
+	tr.SetOnSpan(func(dropped bool) {
+		spans.Inc()
+		if dropped {
+			droppedC.Inc()
+		}
+	})
+}
+
 // statusRecorder captures the status code written by a handler for
 // the request counter.
 type statusRecorder struct {
@@ -155,17 +194,37 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the per-endpoint duration histogram
-// and request counter. The wall-clock read lives here, in the serve
-// layer — never in engine code (the crnlint determinism contract).
+// and request counter, and — for the /v1/* API routes of a tracing
+// server — a serve.request root span. An incoming W3C traceparent header
+// continues the caller's trace (that is how an httpx client's attempt
+// span becomes this request's parent across processes); otherwise the
+// request starts a fresh one. The span context rides the request context
+// so everything downstream (cache layer, engines via the progress
+// adapter, the dist handoff) parents under it. The wall-clock read lives
+// here, in the serve layer — never in engine code (the crnlint
+// determinism contract).
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	if s.met == nil {
+	traced := s.tr != nil && strings.HasPrefix(endpoint, "/v1/")
+	if s.met == nil && !traced {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		var sp *trace.Span
+		if traced {
+			// A missing or malformed header just starts a new trace.
+			parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+			sp = s.tr.StartSpan(start, "serve.request", parent,
+				trace.String("endpoint", endpoint),
+				trace.String("method", r.Method))
+			r = r.WithContext(trace.ContextSpan(r.Context(), sp))
+		}
 		h(rec, r)
-		s.met.reqDur.With(endpoint).Observe(time.Since(start).Seconds())
-		s.met.reqTotal.With(endpoint, strconv.Itoa(rec.code)).Inc()
+		sp.End(time.Now(), trace.Int("code", int64(rec.code)))
+		if s.met != nil {
+			s.met.reqDur.With(endpoint).Observe(time.Since(start).Seconds())
+			s.met.reqTotal.With(endpoint, strconv.Itoa(rec.code)).Inc()
+		}
 	}
 }

@@ -76,6 +76,7 @@ import (
 	"crncompose/internal/semilinear"
 	"crncompose/internal/sim"
 	"crncompose/internal/synth"
+	"crncompose/internal/trace"
 	"crncompose/internal/vec"
 )
 
@@ -142,6 +143,14 @@ type Config struct {
 	// endpoint always works; inject one to aggregate several components
 	// onto a single scrape.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records spans: a serve.request root per /v1/*
+	// request (continuing an incoming W3C traceparent header when one is
+	// present), cache-lookup/singleflight/compute child spans, engine stage
+	// spans via the progress adapter, and per-job spans for async jobs —
+	// handed onward to the dist coordinator in dist mode so one trace id
+	// spans submitter, coordinator, and workers. Nil disables tracing; the
+	// request path then pays only a pointer check.
+	Tracer *trace.Tracer
 }
 
 // Server is the verification service. Create with New; serve via Handler
@@ -151,6 +160,7 @@ type Server struct {
 	cache *resultCache
 	jobs  *jobTable
 	met   *serveMetrics
+	tr    *trace.Tracer
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -199,8 +209,10 @@ func New(cfg Config) *Server {
 		cache: newResultCache(cfg.CacheMax),
 		jobs:  newJobTable(),
 		met:   newServeMetrics(cfg.Metrics),
+		tr:    cfg.Tracer,
 	}
 	s.cache.register(cfg.Metrics)
+	hookSpanCounters(cfg.Metrics, s.tr)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	go s.runJobs()
 	if cfg.JobTTL > 0 {
@@ -259,6 +271,35 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("GET /metrics", s.met.reg.Handler())
 	}
 	return mux
+}
+
+// cacheDo wraps resultCache.do with a span naming how the response was
+// produced — serve.cache.hit (replayed), serve.singleflight.park (joined an
+// identical in-flight computation), serve.compute (this request ran the
+// engine). The span is recorded retroactively, after do returns, because
+// which of the three happened is only known then; its start is the instant
+// the request entered the cache layer, so durations are still honest.
+func (s *Server) cacheDo(ctx context.Context, op, key string, compute func() (cached, error)) (cached, string, error) {
+	if s.tr == nil {
+		val, source, err := s.cache.do(key, compute)
+		return val, source, err
+	}
+	start := time.Now()
+	val, source, err := s.cache.do(key, compute)
+	parent := trace.FromContext(ctx)
+	name := "serve.compute"
+	switch source {
+	case cacheHit:
+		name = "serve.cache.hit"
+	case cacheDedup:
+		name = "serve.singleflight.park"
+	}
+	sp := s.tr.StartSpan(start, name, parent, trace.String("op", op))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End(time.Now())
+	return val, source, err
 }
 
 // Stats is the GET /v1/stats document. Cache and JobsTotal read from
@@ -321,9 +362,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		Func  string `json:"func"`
 		Bound int64  `json:"bound"`
 	}{1, "classify", req.Func, req.Bound})
-	val, source, err := s.cache.do(key, func() (cached, error) {
+	val, source, err := s.cacheDo(r.Context(), "classify", key, func() (cached, error) {
 		s.computed("classify")
-		res, err := classify.Analyze(f, classify.Options{Bound: req.Bound, WitnessSearch: true, Progress: s.progressReporter()})
+		rep, finish := s.reporterFor(trace.FromContext(r.Context()))
+		defer finish()
+		res, err := classify.Analyze(f, classify.Options{Bound: req.Bound, WitnessSearch: true, Progress: rep})
 		if err != nil {
 			return cached{}, err
 		}
@@ -387,9 +430,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		N          int64  `json:"n"`
 		Leaderless bool   `json:"leaderless"`
 	}{1, "synthesize", req.Func, req.Bound, req.N, req.Leaderless})
-	val, source, err := s.cache.do(key, func() (cached, error) {
+	val, source, err := s.cacheDo(r.Context(), "synthesize", key, func() (cached, error) {
 		s.computed("synthesize")
-		resp, err := synthesize(f, req, s.progressReporter())
+		rep, finish := s.reporterFor(trace.FromContext(r.Context()))
+		defer finish()
+		resp, err := synthesize(f, req, rep)
 		if err != nil {
 			return cached{}, err
 		}
@@ -552,9 +597,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		CRN: c.String(), X: req.X, Method: req.Method, Trials: req.Trials,
 		Seed: req.Seed, MaxSteps: req.MaxSteps, SilentSteps: req.SilentSteps,
 	}})
-	val, source, err := s.cache.do(key, func() (cached, error) {
+	val, source, err := s.cacheDo(r.Context(), "simulate", key, func() (cached, error) {
 		s.computed("simulate")
-		opts := []sim.Option{sim.WithMaxSteps(req.MaxSteps), sim.WithProgress(s.progressReporter())}
+		rep, finish := s.reporterFor(trace.FromContext(r.Context()))
+		defer finish()
+		opts := []sim.Option{sim.WithMaxSteps(req.MaxSteps), sim.WithProgress(rep)}
 		if req.SilentSteps > 0 {
 			opts = append(opts, sim.WithSilentSteps(req.SilentSteps))
 		}

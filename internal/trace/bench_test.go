@@ -1,0 +1,21 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRequestSpanPair is the serve cached-hit path's tracing work: a
+// request root span plus a cache-lookup child, created and ended.
+func BenchmarkRequestSpanPair(b *testing.B) {
+	tr := New(Options{Proc: "bench"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := time.Now()
+		root := tr.StartSpan(now, "serve.request", SpanContext{},
+			String("endpoint", "/v1/check"), String("method", "POST"))
+		child := tr.StartSpan(now, "serve.cache.lookup", root.Context())
+		child.End(time.Now(), String("outcome", "hit"))
+		root.End(time.Now(), Int("code", 200))
+	}
+}

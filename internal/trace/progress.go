@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"crncompose/internal/progress"
+)
+
+// ProgressReporter adapts engine progress events into child spans: the
+// first event for a stage ("reach.grid", "reach.explore", "sim",
+// "classify.regions", "synth.modules") opens a span under the configured
+// parent, and Finish ends every open stage span with the last-seen
+// done/total counts as attributes. The clock is injected by the owning
+// layer (serve, the CLIs) — engines only post events; they never see a
+// clock or a span (the caller-owned-clock contract).
+//
+// Safe for concurrent use: a shared reporter may receive events from every
+// worker goroutine of a steal-pool engine run.
+type ProgressReporter struct {
+	t      *Tracer
+	clock  func() time.Time
+	parent SpanContext
+
+	mu   sync.Mutex
+	open map[string]*Span
+	last map[string]progress.Event
+	done bool
+}
+
+// NewProgressReporter builds the adapter. A nil tracer or clock returns
+// nil — callers must then not wrap the nil *ProgressReporter in a
+// progress.Reporter interface (the typed-nil trap progress.Post documents).
+func NewProgressReporter(t *Tracer, clock func() time.Time, parent SpanContext) *ProgressReporter {
+	if t == nil || clock == nil {
+		return nil
+	}
+	return &ProgressReporter{
+		t:      t,
+		clock:  clock,
+		parent: parent,
+		open:   make(map[string]*Span),
+		last:   make(map[string]progress.Event),
+	}
+}
+
+// Report implements progress.Reporter.
+func (p *ProgressReporter) Report(e progress.Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	if _, ok := p.open[e.Stage]; !ok {
+		p.open[e.Stage] = p.t.StartSpan(p.clock(), e.Stage, p.parent)
+	}
+	p.last[e.Stage] = e
+}
+
+// Finish ends every open stage span at now (stages in sorted order, so the
+// recording order is deterministic for a given stage set). Idempotent;
+// events after Finish are dropped.
+func (p *ProgressReporter) Finish(now time.Time) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.done = true
+	stages := make([]string, 0, len(p.open))
+	for stage := range p.open {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	type ending struct {
+		sp *Span
+		e  progress.Event
+	}
+	ends := make([]ending, 0, len(stages))
+	for _, stage := range stages {
+		ends = append(ends, ending{p.open[stage], p.last[stage]})
+	}
+	p.mu.Unlock()
+	for _, en := range ends {
+		en.sp.End(now, Int("done", en.e.Done), Int("total", en.e.Total))
+	}
+}

@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"crncompose/internal/progress"
+)
+
+// testTracer returns a tracer with a deterministic id stream.
+func testTracer(capacity int) *Tracer {
+	var n uint64
+	return New(Options{Proc: "test", Cap: capacity, Rand: func() uint64 {
+		n++
+		return n
+	}})
+}
+
+func at(ms int64) time.Time { return time.Unix(0, ms*int64(time.Millisecond)) }
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := testTracer(16)
+	sp := tr.StartSpan(at(1), "root", SpanContext{})
+	hdr := sp.Context().Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("bad traceparent %q", hdr)
+	}
+	sc, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if sc != sp.Context() {
+		t.Fatalf("round trip: got %+v want %+v", sc, sp.Context())
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc",
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // unknown version
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace id
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span id
+		"00-0123456789abcdef0123456789abcdeX-0123456789abcdef-01", // non-hex
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-01x",
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q): want error", s)
+		} else if !strings.HasPrefix(err.Error(), "trace: ") {
+			t.Errorf("ParseTraceparent(%q): error %q lacks package prefix", s, err)
+		}
+	}
+}
+
+func TestSpanLifecycleAndLinkage(t *testing.T) {
+	tr := testTracer(16)
+	root := tr.StartSpan(at(10), "root", SpanContext{}, String("kind", "server"))
+	child := tr.StartSpan(at(20), "child", root.Context())
+	child.End(at(30), Int("items", 3))
+	root.End(at(40))
+	root.End(at(99)) // second End is a no-op
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1]
+	if c.Name != "child" || r.Name != "root" {
+		t.Fatalf("unexpected recording order: %q, %q", c.Name, r.Name)
+	}
+	if c.TraceID != r.TraceID {
+		t.Fatalf("child trace %s != root trace %s", c.TraceID, r.TraceID)
+	}
+	if c.Parent != r.SpanID {
+		t.Fatalf("child parent %s != root span %s", c.Parent, r.SpanID)
+	}
+	if r.Parent != "" {
+		t.Fatalf("root has parent %s", r.Parent)
+	}
+	if c.Start != at(20).UnixNano() || c.End != at(30).UnixNano() {
+		t.Fatalf("child instants %d..%d", c.Start, c.End)
+	}
+	if r.End != at(40).UnixNano() {
+		t.Fatalf("second End overwrote the first: end=%d", r.End)
+	}
+	if c.Attrs["items"] != "3" || r.Attrs["kind"] != "server" || r.Proc != "test" {
+		t.Fatalf("attrs/proc not recorded: %+v / %+v", c, r)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan(at(1), "x", SpanContext{})
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End(at(2))
+	if sp.Context().Valid() {
+		t.Fatal("nil span context must be invalid")
+	}
+	tr.Record(SpanData{})
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v", got)
+	}
+	if rec, drop := tr.Stats(); rec != 0 || drop != 0 {
+		t.Fatal("nil tracer stats must be zero")
+	}
+	tr.SetOnSpan(func(bool) {})
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := testTracer(4)
+	var hookTotal, hookDropped int
+	tr.SetOnSpan(func(dropped bool) {
+		hookTotal++
+		if dropped {
+			hookDropped++
+		}
+	})
+	for i := 0; i < 10; i++ {
+		sp := tr.StartSpan(at(int64(i)), "s", SpanContext{}, Int("i", int64(i)))
+		sp.End(at(int64(i) + 1))
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	for i, d := range spans {
+		if want := int64(6 + i); d.Attrs["i"] != Int("i", want).Value {
+			t.Fatalf("span %d is i=%s, want %d (oldest-first order)", i, d.Attrs["i"], want)
+		}
+	}
+	rec, drop := tr.Stats()
+	if rec != 10 || drop != 6 {
+		t.Fatalf("stats = (%d, %d), want (10, 6)", rec, drop)
+	}
+	if hookTotal != 10 || hookDropped != 6 {
+		t.Fatalf("hook saw (%d, %d), want (10, 6)", hookTotal, hookDropped)
+	}
+}
+
+// fixedSpanSet is a span set with unsorted insertion order, two traces,
+// and attrs, for the export determinism tests.
+func fixedSpanSet() []SpanData {
+	return []SpanData{
+		{TraceID: "bb", SpanID: "02", Name: "late", Proc: "p2", Start: 500, End: 900},
+		{TraceID: "aa", SpanID: "03", Parent: "01", Name: "child", Proc: "p1", Start: 200, End: 300,
+			Attrs: map[string]string{"b": "2", "a": "1"}},
+		{TraceID: "aa", SpanID: "01", Name: "root", Proc: "p1", Start: 100, End: 400},
+	}
+}
+
+func TestExportJSONByteIdentical(t *testing.T) {
+	set := fixedSpanSet()
+	a, err := ExportJSON(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse insertion order: identical set, different order.
+	rev := []SpanData{set[2], set[1], set[0]}
+	b, err := ExportJSON(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("export depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+	// And across repeated runs of the same call (map attrs must not leak
+	// iteration order).
+	for i := 0; i < 10; i++ {
+		c, err := ExportJSON(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, c) {
+			t.Fatalf("export not byte-stable across runs")
+		}
+	}
+	var decoded []SpanData
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(decoded) != 3 || decoded[0].TraceID != "aa" || decoded[0].Name != "root" {
+		t.Fatalf("unexpected canonical order: %+v", decoded)
+	}
+}
+
+func TestExportChromeTrace(t *testing.T) {
+	a, err := ExportChromeTrace(fixedSpanSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExportChromeTrace([]SpanData{fixedSpanSet()[2], fixedSpanSet()[0], fixedSpanSet()[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("chrome export depends on insertion order")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	// 2 process_name metadata events + 3 spans.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5: %s", len(doc.TraceEvents), a)
+	}
+	var xs, ms int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xs++
+		case "M":
+			ms++
+		}
+	}
+	if xs != 3 || ms != 2 {
+		t.Fatalf("got %d X and %d M events, want 3 and 2", xs, ms)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := testTracer(16)
+	r1 := tr.StartSpan(at(1), "one", SpanContext{})
+	r1.End(at(2))
+	r2 := tr.StartSpan(at(3), "two", SpanContext{})
+	r2.End(at(4))
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec
+	}
+
+	rec := get("/debug/traces")
+	var doc tracesDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad body: %v\n%s", err, rec.Body)
+	}
+	if doc.Recorded != 2 || doc.Dropped != 0 || len(doc.Traces) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+
+	id := r1.Context().TraceID.String()
+	rec = get("/debug/traces?trace=" + id)
+	doc = tracesDoc{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].TraceID != id || doc.Traces[0].Spans[0].Name != "one" {
+		t.Fatalf("filtered doc = %+v", doc)
+	}
+
+	rec = get("/debug/traces?format=chrome")
+	if !bytes.Contains(rec.Body.Bytes(), []byte("traceEvents")) {
+		t.Fatalf("chrome format body: %s", rec.Body)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := testTracer(16)
+	a := tr.StartSpan(at(1), "a", SpanContext{})
+	a.End(at(2))
+	b := tr.StartSpan(at(3), "b", SpanContext{})
+	b.End(at(4))
+	got := tr.TraceSpans(a.Context().TraceID.String())
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("TraceSpans = %+v", got)
+	}
+}
+
+func TestLogfStamping(t *testing.T) {
+	var lines []string
+	base := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	tr := testTracer(16)
+	sp := tr.StartSpan(at(1), "op", SpanContext{})
+	logf := Logf(base, sp.Context())
+	logf("leased rect %d", 7)
+	want := "leased rect 7 trace=" + sp.Context().TraceID.String() + " span=" + sp.Context().SpanID.String()
+	if len(lines) != 1 || lines[0] != want {
+		t.Fatalf("got %q, want %q", lines, want)
+	}
+	if got := Logf(base, SpanContext{}); got == nil {
+		// invalid context returns base unchanged
+		t.Fatal("Logf with invalid context must return base")
+	}
+	if Logf(nil, sp.Context()) != nil {
+		t.Fatal("Logf with nil base must return nil")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := testTracer(16)
+	sp := tr.StartSpan(at(1), "op", SpanContext{})
+	ctx := ContextSpan(t.Context(), sp)
+	if got := FromContext(ctx); got != sp.Context() {
+		t.Fatalf("FromContext = %+v, want %+v", got, sp.Context())
+	}
+	if FromContext(t.Context()).Valid() {
+		t.Fatal("empty context must yield invalid span context")
+	}
+	if ContextSpan(t.Context(), nil) != t.Context() {
+		t.Fatal("nil span must leave ctx unchanged")
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	tr := testTracer(16)
+	parent := tr.StartSpan(at(1), "job", SpanContext{})
+	clockNow := at(5)
+	pr := NewProgressReporter(tr, func() time.Time { return clockNow }, parent.Context())
+	pr.Report(progress.Event{Stage: "reach.grid", Done: 1, Total: 10})
+	clockNow = at(6)
+	pr.Report(progress.Event{Stage: "reach.explore", Done: 100, Total: 0})
+	pr.Report(progress.Event{Stage: "reach.grid", Done: 9, Total: 10})
+	pr.Finish(at(9))
+	pr.Finish(at(99)) // idempotent
+	pr.Report(progress.Event{Stage: "late", Done: 1, Total: 1})
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	// Finish ends stages in sorted order: reach.explore then reach.grid.
+	explore, grid := spans[0], spans[1]
+	if explore.Name != "reach.explore" || grid.Name != "reach.grid" {
+		t.Fatalf("stage order: %q, %q", explore.Name, grid.Name)
+	}
+	if grid.Parent != parent.Context().SpanID.String() {
+		t.Fatalf("stage span parent %s, want %s", grid.Parent, parent.Context().SpanID)
+	}
+	if grid.Start != at(5).UnixNano() || grid.End != at(9).UnixNano() {
+		t.Fatalf("grid instants %d..%d", grid.Start, grid.End)
+	}
+	if grid.Attrs["done"] != "9" || grid.Attrs["total"] != "10" {
+		t.Fatalf("grid attrs %+v", grid.Attrs)
+	}
+	if NewProgressReporter(nil, func() time.Time { return at(0) }, SpanContext{}) != nil {
+		t.Fatal("nil tracer must yield nil reporter")
+	}
+}
